@@ -1,0 +1,298 @@
+// Package repro's root benchmarks: one testing.B benchmark per experiment in
+// EXPERIMENTS.md. They report, beyond ns/op, the model's cost metrics as
+// custom units: transfers/op (the PM model's Wf), time/op-model (Tf, max
+// per-processor transfers), and restarts/op.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algos/blockio"
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/merge"
+	"repro/internal/algos/prefixsum"
+	"repro/internal/algos/sort"
+	"repro/internal/capsule"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+	"repro/internal/rng"
+	"repro/internal/simcache"
+	"repro/internal/simem"
+	"repro/internal/simram"
+)
+
+func report(b *testing.B, m *machine.Machine) {
+	s := m.Stats.Summarize()
+	b.ReportMetric(float64(s.Work), "transfers/op")
+	b.ReportMetric(float64(s.MaxProcWork), "Tf/op")
+	b.ReportMetric(float64(s.Restarts), "restarts/op")
+}
+
+// BenchmarkRAMSim — E1 (Theorem 3.2).
+func BenchmarkRAMSim(b *testing.B) {
+	for _, f := range []float64{0, 0.01} {
+		b.Run(fmt.Sprintf("f=%v", f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var inj fault.Injector = fault.NoFaults{}
+				if f > 0 {
+					inj = fault.NewIID(1, f, 11)
+				}
+				m := machine.New(machine.Config{P: 1, Injector: inj})
+				sim := simram.New(m, fmt.Sprintf("b%d", i), simram.FibProgram(500), 2)
+				sim.Install(0)
+				m.Run()
+				if i == b.N-1 {
+					report(b, m)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEMSim — E2 (Theorem 3.3).
+func BenchmarkEMSim(b *testing.B) {
+	const nb, bw = 256, 8
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.Config{P: 1, BlockWords: bw, EphWords: 512,
+			Injector: fault.NewIID(1, 0.002, 5)})
+		prog := &simem.ScanSum{NBlocks: nb, OutBlock: nb, B: bw, M: 128}
+		sim := simem.New(m, fmt.Sprintf("b%d", i), prog, nb+1)
+		sim.Install(0)
+		m.Run()
+		if i == b.N-1 {
+			report(b, m)
+		}
+	}
+}
+
+// BenchmarkCacheSim — E3 (Theorem 3.4).
+func BenchmarkCacheSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.Config{P: 1, BlockWords: 8, EphWords: 1 << 12})
+		sim := simcache.New(m, fmt.Sprintf("b%d", i), &simcache.HotLoop{K: 64, R: 16}, 64, 128)
+		sim.Install(0)
+		m.Run()
+		if i == b.N-1 {
+			report(b, m)
+		}
+	}
+}
+
+// buildTree registers the canonical fork-join tree sum on rt.
+func buildTree(rt *core.Runtime, n, leaf int) (capsule.FuncID, pmem.Addr) {
+	m := rt.Machine
+	in := m.HeapAllocBlocks(n)
+	out := m.HeapAllocBlocks(1)
+	for i := 0; i < n; i++ {
+		m.Mem.Write(in+pmem.Addr(i), uint64(i%13+1))
+	}
+	bw := m.BlockWords()
+	cmb := m.Registry.Register("bench/combine", func(e capsule.Env) {
+		l := e.Read(pmem.Addr(e.Arg(0)))
+		r := e.Read(pmem.Addr(e.Arg(1)))
+		e.Write(pmem.Addr(e.Arg(2)), l+r)
+		rt.FJ.TaskDone(e)
+	})
+	var fid capsule.FuncID
+	fid = m.Registry.Register("bench/sum", func(e capsule.Env) {
+		lo, hi, dst := int(e.Arg(0)), int(e.Arg(1)), pmem.Addr(e.Arg(2))
+		if hi-lo <= leaf {
+			var acc uint64
+			blockio.ReadRange(e, bw, in, lo, hi, func(_ int, v uint64) { acc += v })
+			e.Write(dst, acc)
+			rt.FJ.TaskDone(e)
+			return
+		}
+		mid := (lo + hi) / 2
+		slots := e.Alloc(2)
+		k := e.NewClosure(cmb, e.Cont(), uint64(slots), uint64(slots+1), uint64(dst))
+		rt.FJ.Fork2(e,
+			fid, []uint64{uint64(lo), uint64(mid), uint64(slots)},
+			fid, []uint64{uint64(mid), uint64(hi), uint64(slots + 1)},
+			k)
+	})
+	return fid, out
+}
+
+// BenchmarkScheduler — E5 (Theorem 6.2): the work-stealing scheduler across
+// P and f.
+func BenchmarkScheduler(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		for _, f := range []float64{0, 0.005} {
+			b.Run(fmt.Sprintf("P=%d/f=%v", p, f), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rt := core.New(core.Config{P: p, FaultRate: f, Seed: uint64(i),
+						PoolWords: 1 << 21, MemWords: 1 << 25})
+					fid, out := buildTree(rt, 4096, 32)
+					if !rt.Run(fid, 0, 4096, uint64(out)) {
+						b.Fatal("did not complete")
+					}
+					if i == b.N-1 {
+						report(b, rt.Machine)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDequeSteals — E4: steal-heavy fan-out (deep trees, tiny leaves).
+func BenchmarkDequeSteals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt := core.New(core.Config{P: 8, Seed: uint64(i),
+			PoolWords: 1 << 21, MemWords: 1 << 25})
+		fid, out := buildTree(rt, 1024, 4)
+		if !rt.Run(fid, 0, 1024, uint64(out)) {
+			b.Fatal("did not complete")
+		}
+		if i == b.N-1 {
+			s := rt.Stats()
+			b.ReportMetric(float64(s.Steals), "steals/op")
+			b.ReportMetric(float64(s.StealTries), "stealTries/op")
+		}
+	}
+}
+
+// BenchmarkHardFaults — E6: completion with dying processors.
+func BenchmarkHardFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt := core.New(core.Config{P: 4, Seed: uint64(i),
+			DieAt:     map[int]int64{1: 200, 2: 500},
+			PoolWords: 1 << 21, MemWords: 1 << 25})
+		fid, out := buildTree(rt, 2048, 32)
+		if !rt.Run(fid, 0, 2048, uint64(out)) {
+			b.Fatal("did not complete")
+		}
+		if i == b.N-1 {
+			report(b, rt.Machine)
+		}
+	}
+}
+
+func algoCfg(p int, f float64, seed uint64) core.Config {
+	return core.Config{P: p, FaultRate: f, Seed: seed,
+		EphWords: 1 << 13, MemWords: 1 << 25, PoolWords: 1 << 21}
+}
+
+// BenchmarkPrefixSum — E7 (Theorem 7.1).
+func BenchmarkPrefixSum(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 15} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := rng.NewXoshiro256(1).Uint64s(make([]uint64, n))
+			for i := 0; i < b.N; i++ {
+				rt := core.New(algoCfg(4, 0.002, uint64(i)))
+				ps := prefixsum.Build(rt.Machine, rt.FJ, "b", n, 0)
+				ps.LoadInput(in)
+				if !ps.Run() {
+					b.Fatal("did not complete")
+				}
+				if i == b.N-1 {
+					report(b, rt.Machine)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMerge — E8 (Theorem 7.2).
+func BenchmarkMerge(b *testing.B) {
+	const n = 1 << 13
+	a := make([]uint64, n)
+	c := make([]uint64, n)
+	var accA, accC uint64
+	x := rng.NewXoshiro256(2)
+	for i := 0; i < n; i++ {
+		accA += x.Next() % 16
+		accC += x.Next() % 16
+		a[i], c[i] = accA, accC
+	}
+	for i := 0; i < b.N; i++ {
+		rt := core.New(algoCfg(4, 0.002, uint64(i)))
+		mg := merge.Build(rt.Machine, rt.FJ, "b", n, n, 0)
+		mg.LoadInputs(a, c)
+		if !mg.Run() {
+			b.Fatal("did not complete")
+		}
+		if i == b.N-1 {
+			report(b, rt.Machine)
+		}
+	}
+}
+
+// BenchmarkSort — E9 (Theorem 7.3): both algorithms, same input.
+func BenchmarkSort(b *testing.B) {
+	const n, mWords = 1 << 14, 1024
+	in := rng.NewXoshiro256(3).Uint64s(make([]uint64, n))
+	b.Run("mergesort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rt := core.New(algoCfg(2, 0.001, uint64(i)))
+			ms := sort.NewMergeSort(rt.Machine, rt.FJ, "b", n, mWords)
+			ms.LoadInput(in)
+			if !ms.Run() {
+				b.Fatal("did not complete")
+			}
+			if i == b.N-1 {
+				report(b, rt.Machine)
+			}
+		}
+	})
+	b.Run("samplesort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rt := core.New(algoCfg(2, 0.001, uint64(i)))
+			ss := sort.NewSampleSort(rt.Machine, rt.FJ, "b", n, mWords)
+			ss.LoadInput(in)
+			if !ss.Run() {
+				b.Fatal("did not complete")
+			}
+			if i == b.N-1 {
+				report(b, rt.Machine)
+			}
+		}
+	})
+}
+
+// BenchmarkMatMul — E10 (Theorem 7.4).
+func BenchmarkMatMul(b *testing.B) {
+	const n = 32
+	x := rng.NewXoshiro256(4)
+	ma := x.Uint64s(make([]uint64, n*n))
+	mb := x.Uint64s(make([]uint64, n*n))
+	for i := 0; i < b.N; i++ {
+		rt := core.New(core.Config{P: 4, FaultRate: 0.001, Seed: uint64(i),
+			MemWords: 1 << 25, PoolWords: 1 << 21})
+		mm := matmul.Build(rt.Machine, rt.FJ, "b", n, 8, 1<<20)
+		mm.LoadInputs(ma, mb)
+		if !mm.Run() {
+			b.Fatal("did not complete")
+		}
+		if i == b.N-1 {
+			report(b, rt.Machine)
+		}
+	}
+}
+
+// BenchmarkCapsuleGranularity — A2: the checkpointing tension.
+func BenchmarkCapsuleGranularity(b *testing.B) {
+	for _, leaf := range []int{8, 512} {
+		b.Run(fmt.Sprintf("leaf=%d", leaf), func(b *testing.B) {
+			const n = 1 << 13
+			in := rng.NewXoshiro256(5).Uint64s(make([]uint64, n))
+			for i := 0; i < b.N; i++ {
+				rt := core.New(algoCfg(2, 0.01, uint64(i)))
+				ps := prefixsum.Build(rt.Machine, rt.FJ, "b", n, leaf)
+				ps.LoadInput(in)
+				if !ps.Run() {
+					b.Fatal("did not complete")
+				}
+				if i == b.N-1 {
+					report(b, rt.Machine)
+				}
+			}
+		})
+	}
+}

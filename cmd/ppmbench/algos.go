@@ -1,0 +1,299 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/merge"
+	"repro/internal/algos/prefixsum"
+	"repro/internal/algos/sort"
+	"repro/internal/capsule"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+	"repro/internal/rng"
+	"repro/internal/warcheck"
+)
+
+func algoRT(p int, f float64, seed uint64) *core.Runtime {
+	return core.New(core.Config{P: p, FaultRate: f, Seed: seed,
+		EphWords: 1 << 13, MemWords: 1 << 25, PoolWords: 1 << 22})
+}
+
+// runE7 — Theorem 7.1: prefix sum W = O(n/B), D = O(log n), C = O(1).
+func runE7() {
+	fmt.Printf("%10s %8s %12s %10s %8s\n", "n", "f", "W(algo)", "W/(n/B)", "maxC")
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
+		for _, f := range []float64{0, 0.005} {
+			rt := algoRT(4, f, 2)
+			ps := prefixsum.Build(rt.Machine, rt.FJ, "e7", n, 0)
+			x := rng.NewXoshiro256(uint64(n))
+			in := make([]uint64, n)
+			for i := range in {
+				in[i] = x.Next() % 1000
+			}
+			ps.LoadInput(in)
+			if !ps.Run() {
+				fmt.Println("FAILED")
+				continue
+			}
+			s := rt.Stats()
+			nb := float64(n) / float64(rt.Machine.BlockWords())
+			fmt.Printf("%10d %8.3f %12d %10.2f %8d\n",
+				n, f, s.UserWork, float64(s.UserWork)/nb, s.MaxCapsWork)
+		}
+	}
+	fmt.Println("check: W/(n/B) flat; maxC constant in n (leaf = B)")
+}
+
+// runE8 — Theorem 7.2: merge W = O(n/B), C = O(log n).
+func runE8() {
+	fmt.Printf("%10s %8s %12s %10s %8s\n", "n", "f", "W(algo)", "W/(n/B)", "maxC")
+	for _, n := range []int{1 << 9, 1 << 12, 1 << 15} {
+		for _, f := range []float64{0, 0.005} {
+			rt := algoRT(4, f, 3)
+			mg := merge.Build(rt.Machine, rt.FJ, "e8", n, n, 0)
+			mg.LoadInputs(sortedKeys(n, 1), sortedKeys(n, 2))
+			if !mg.Run() {
+				fmt.Println("FAILED")
+				continue
+			}
+			s := rt.Stats()
+			nb := 2 * float64(n) / float64(rt.Machine.BlockWords())
+			fmt.Printf("%10d %8.3f %12d %10.2f %8d\n",
+				n, f, s.UserWork, float64(s.UserWork)/nb, s.MaxCapsWork)
+		}
+	}
+	fmt.Println("check: W/(n/B) flat; maxC grows only logarithmically (binary searches)")
+}
+
+func sortedKeys(n int, seed uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	v := make([]uint64, n)
+	var acc uint64
+	for i := range v {
+		acc += x.Next() % 64
+		v[i] = acc
+	}
+	return v
+}
+
+// runE9 — Theorem 7.3: samplesort's W/(n/B) flat in n, mergesort's grows
+// with log(n/M); crossover where log(n/M) exceeds samplesort's constant.
+// Parameters respect M > B² and n <= M²/B.
+func runE9() {
+	const mWords = 1024
+	fmt.Printf("%10s %10s %14s %14s\n", "n", "log2(n/M)", "msort W/(n/B)", "ssort W/(n/B)")
+	for _, n := range []int{1 << 13, 1 << 14, 1 << 15, 1 << 16} {
+		row := make([]float64, 2)
+		for i, sample := range []bool{false, true} {
+			rt := algoRT(1, 0, 7)
+			x := rng.NewXoshiro256(uint64(n))
+			in := make([]uint64, n)
+			for j := range in {
+				in[j] = x.Next() % 1_000_000
+			}
+			var run func() bool
+			if sample {
+				ss := sort.NewSampleSort(rt.Machine, rt.FJ, "e9", n, mWords)
+				ss.LoadInput(in)
+				run = ss.Run
+			} else {
+				ms := sort.NewMergeSort(rt.Machine, rt.FJ, "e9", n, mWords)
+				ms.LoadInput(in)
+				run = ms.Run
+			}
+			if !run() {
+				fmt.Println("FAILED")
+				return
+			}
+			nb := float64(n) / float64(rt.Machine.BlockWords())
+			row[i] = float64(rt.Stats().UserWork) / nb
+		}
+		logNM := 0
+		for v := n / mWords; v > 1; v /= 2 {
+			logNM++
+		}
+		fmt.Printf("%10d %10d %14.1f %14.1f\n", n, logNM, row[0], row[1])
+	}
+	fmt.Println("check: mergesort column grows with log(n/M); samplesort flat and")
+	fmt.Println("below it for large n — the Theorem 7.3 work separation")
+}
+
+// runE10 — Theorem 7.4: matmul W = O(n³/(B√M)): 8x per doubling of n at
+// fixed base; decreasing in base (≈√M).
+func runE10() {
+	fmt.Printf("%8s %8s %12s %12s\n", "n", "base", "W(algo)", "W·B√M/n³")
+	for _, n := range []int{16, 32, 64} {
+		for _, base := range []int{4, 8, 16} {
+			if base > n {
+				continue
+			}
+			rt := core.New(core.Config{P: 2, Seed: 9, MemWords: 1 << 25, PoolWords: 1 << 22})
+			mm := matmul.Build(rt.Machine, rt.FJ, fmt.Sprintf("e10-%d-%d", n, base), n, base, 1<<20)
+			x := rng.NewXoshiro256(uint64(n))
+			a := make([]uint64, n*n)
+			b := make([]uint64, n*n)
+			for i := range a {
+				a[i], b[i] = x.Next()%10, x.Next()%10
+			}
+			mm.LoadInputs(a, b)
+			if !mm.Run() {
+				fmt.Println("FAILED")
+				continue
+			}
+			w := float64(rt.Stats().UserWork)
+			bw := float64(rt.Machine.BlockWords())
+			norm := w * bw * float64(base) / (float64(n) * float64(n) * float64(n))
+			fmt.Printf("%8d %8d %12.0f %12.3f\n", n, base, w, norm)
+		}
+	}
+	fmt.Println("check: normalized column ≈ constant per base (the n³/(B√M) law,")
+	fmt.Println("with base playing √M)")
+}
+
+// runE12 — the WAR checker: seeded conflicting capsules are flagged; the
+// fault-replay demonstration shows the actual corruption they cause.
+func runE12() {
+	// Randomized conflict seeding on raw capsules.
+	x := rng.NewXoshiro256(99)
+	flagged, planted, clean := 0, 0, 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		tr := warcheck.New(true)
+		conflict := false
+		exposed := map[int]bool{} // first access was a read
+		written := map[int]bool{}
+		for op := 0; op < 12; op++ {
+			blk := x.Intn(6)
+			if x.Bernoulli(0.5) {
+				if !written[blk] {
+					exposed[blk] = true // an exposed read per §3
+				}
+				tr.OnRead(blk)
+			} else {
+				if exposed[blk] {
+					conflict = true
+				}
+				written[blk] = true
+				tr.OnWrite(blk)
+			}
+		}
+		if conflict {
+			planted++
+			if len(tr.Violations()) > 0 {
+				flagged++
+			}
+		} else {
+			clean++
+			if len(tr.Violations()) > 0 {
+				fmt.Println("FALSE POSITIVE")
+				return
+			}
+		}
+	}
+	fmt.Printf("random capsules: %d/%d planted WAR conflicts flagged, %d clean capsules, 0 false positives\n",
+		flagged, planted, clean)
+
+	// The corruption a WAR conflict causes under replay (Theorem 3.1's
+	// converse): in-place increment double-applies.
+	m := machine.New(machine.Config{P: 1, Injector: fault.NewScript().Add(0, 4, fault.Soft)})
+	cell := m.HeapAllocBlocks(1)
+	fid := m.Registry.Register("e12/incr", func(e capsule.Env) {
+		v := e.Read(cell)
+		e.Write(cell, v+1)
+		e.Halt()
+	})
+	m.SetRestart(0, m.BuildClosure(0, fid, pmem.Nil))
+	m.Run()
+	fmt.Printf("in-place increment with one fault: cell = %d (correct would be 1)\n",
+		m.Mem.Read(cell))
+	fmt.Println("check: all planted conflicts flagged; WAR capsule visibly non-idempotent")
+}
+
+// runA3 — the Asymmetric PM extension (footnote 2): persistent writes cost
+// ω ≥ 1 units. The model's counters track reads and writes separately, so
+// asymmetric cost is r + ω·w; the table shows how each algorithm's
+// read/write balance translates.
+func runA3() {
+	fmt.Printf("%-12s %10s %10s %12s %12s %12s\n",
+		"algorithm", "reads", "writes", "cost ω=1", "cost ω=4", "cost ω=16")
+	row := func(name string, r, w int64) {
+		fmt.Printf("%-12s %10d %10d %12d %12d %12d\n",
+			name, r, w, r+w, r+4*w, r+16*w)
+	}
+	{
+		rt := algoRT(1, 0, 1)
+		ps := prefixsum.Build(rt.Machine, rt.FJ, "a3", 1<<14, 0)
+		ps.LoadInput(rng.NewXoshiro256(1).Uint64s(make([]uint64, 1<<14)))
+		ps.Run()
+		s := rt.Stats()
+		row("prefixsum", s.Reads, s.Writes)
+	}
+	{
+		rt := algoRT(1, 0, 1)
+		mg := merge.Build(rt.Machine, rt.FJ, "a3", 1<<13, 1<<13, 0)
+		mg.LoadInputs(sortedKeys(1<<13, 1), sortedKeys(1<<13, 2))
+		mg.Run()
+		s := rt.Stats()
+		row("merge", s.Reads, s.Writes)
+	}
+	{
+		rt := algoRT(1, 0, 1)
+		ss := sort.NewSampleSort(rt.Machine, rt.FJ, "a3", 1<<14, 1024)
+		ss.LoadInput(rng.NewXoshiro256(2).Uint64s(make([]uint64, 1<<14)))
+		ss.Run()
+		s := rt.Stats()
+		row("samplesort", s.Reads, s.Writes)
+	}
+	{
+		rt := core.New(core.Config{P: 1, Seed: 1, MemWords: 1 << 25, PoolWords: 1 << 21})
+		mm := matmul.Build(rt.Machine, rt.FJ, "a3", 32, 8, 1<<20)
+		x := rng.NewXoshiro256(3)
+		mm.LoadInputs(x.Uint64s(make([]uint64, 32*32)), x.Uint64s(make([]uint64, 32*32)))
+		mm.Run()
+		s := rt.Stats()
+		row("matmul", s.Reads, s.Writes)
+	}
+	fmt.Println("check: capsule bookkeeping (closure writes, installs) makes the")
+	fmt.Println("model write-heavy; asymmetric cost scales accordingly — the")
+	fmt.Println("write-avoiding variants of [12,13] would attack exactly this")
+}
+
+// runA2 — capsule granularity: under faults there is a sweet spot between
+// tiny capsules (boundary overhead) and huge capsules (restart waste) — the
+// paper's checkpointing tension (§2).
+func runA2() {
+	const n = 1 << 14
+	fmt.Printf("%8s %8s %12s %12s %10s\n", "leaf", "f", "Wf(total)", "restarts", "maxC")
+	for _, leaf := range []int{8, 64, 512, 4096} {
+		for _, f := range []float64{0.002, 0.02} {
+			// The model requires f ≤ 1/(2C): beyond it a maximum-work
+			// capsule fails in expectation every attempt and the run
+			// diverges — report that instead of hanging.
+			approxC := int64(leaf)/8 + 4
+			if float64(approxC)*f > 2 {
+				fmt.Printf("%8d %8.3f %12s %12s %10d  (diverges: C·f ≈ %.1f > 1, violates f ≤ 1/(2C))\n",
+					leaf, f, "-", "-", approxC, float64(approxC)*f)
+				continue
+			}
+			rt := algoRT(2, f, 13)
+			ps := prefixsum.Build(rt.Machine, rt.FJ, fmt.Sprintf("a2-%d-%v", leaf, f), n, leaf)
+			x := rng.NewXoshiro256(1)
+			in := make([]uint64, n)
+			for i := range in {
+				in[i] = x.Next() % 100
+			}
+			ps.LoadInput(in)
+			if !ps.Run() {
+				fmt.Println("FAILED")
+				continue
+			}
+			s := rt.Stats()
+			fmt.Printf("%8d %8.3f %12d %12d %10d\n", leaf, f, s.Work, s.Restarts, s.MaxCapsWork)
+		}
+	}
+	fmt.Println("check: total work is U-shaped in leaf size at high f — small")
+	fmt.Println("capsules pay per-capsule overhead, large ones replay more on faults")
+}

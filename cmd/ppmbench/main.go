@@ -1,0 +1,55 @@
+// ppmbench regenerates every experiment in EXPERIMENTS.md: the simulation
+// theorems (3.2–3.4), the scheduler bound (6.2), the algorithm bounds
+// (7.1–7.4), and the design ablations. Each experiment prints a small table;
+// `ppmbench -exp all` reproduces the whole document.
+//
+//	go run ./cmd/ppmbench -exp e5
+//	go run ./cmd/ppmbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var experiments = []struct {
+	id   string
+	desc string
+	run  func()
+}{
+	{"e1", "Theorem 3.2: RAM simulation, O(t) total work", runE1},
+	{"e2", "Theorem 3.3: external-memory simulation, O(t) total work", runE2},
+	{"e3", "Theorem 3.4: ideal-cache simulation, cost tracks misses", runE3},
+	{"e4", "Figure 3/4: WS-deque exactly-once under faults", runE4},
+	{"e5", "Theorem 6.2: scheduler time bound vs P and f", runE5},
+	{"e6", "Section 6: hard faults, time vs dead processors", runE6},
+	{"e7", "Theorem 7.1: prefix sum work/depth/capsule bounds", runE7},
+	{"e8", "Theorem 7.2: merge work/capsule bounds", runE8},
+	{"e9", "Theorem 7.3: samplesort vs mergesort work", runE9},
+	{"e10", "Theorem 7.4: matrix multiply work scaling", runE10},
+	{"e11", "Figure 2: CAM capsule exactly-once ownership", runE11},
+	{"e12", "Theorems 3.1/5.1: WAR-freedom checker on seeded violations", runE12},
+	{"a1", "Ablation: CAS- vs CAM-based steal under faults", runA1},
+	{"a2", "Ablation: capsule granularity vs total work under faults", runA2},
+	{"a3", "Extension: asymmetric read/write costs (paper footnote 2)", runA3},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (e1..e12, a1, a2) or 'all'")
+	flag.Parse()
+	if *exp == "" {
+		fmt.Println("usage: ppmbench -exp <id|all>")
+		for _, e := range experiments {
+			fmt.Printf("  %-4s %s\n", e.id, e.desc)
+		}
+		os.Exit(2)
+	}
+	for _, e := range experiments {
+		if *exp == "all" || strings.EqualFold(*exp, e.id) {
+			fmt.Printf("\n=== %s: %s ===\n", strings.ToUpper(e.id), e.desc)
+			e.run()
+		}
+	}
+}

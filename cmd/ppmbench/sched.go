@@ -1,0 +1,271 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/algos/blockio"
+	"repro/internal/capsule"
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/fault"
+	"repro/internal/pmem"
+)
+
+// treeWorkload wires the canonical fork-join tree sum used by the scheduler
+// experiments.
+type treeWorkload struct {
+	rt   *core.Runtime
+	fid  capsule.FuncID
+	in   pmem.Addr
+	out  pmem.Addr
+	n    int
+	want uint64
+}
+
+func newTreeWorkload(rt *core.Runtime, n, leaf int) *treeWorkload {
+	m := rt.Machine
+	w := &treeWorkload{rt: rt, n: n}
+	w.in = m.HeapAllocBlocks(n)
+	w.out = m.HeapAllocBlocks(1)
+	for i := 0; i < n; i++ {
+		m.Mem.Write(w.in+pmem.Addr(i), uint64(i%97+1))
+		w.want += uint64(i%97 + 1)
+	}
+	b := m.BlockWords()
+	cmb := m.Registry.Register("wl/combine", func(e capsule.Env) {
+		l := e.Read(pmem.Addr(e.Arg(0)))
+		r := e.Read(pmem.Addr(e.Arg(1)))
+		e.Write(pmem.Addr(e.Arg(2)), l+r)
+		rt.FJ.TaskDone(e)
+	})
+	w.fid = m.Registry.Register("wl/sum", func(e capsule.Env) {
+		lo, hi, dst := int(e.Arg(0)), int(e.Arg(1)), pmem.Addr(e.Arg(2))
+		if hi-lo <= leaf {
+			var acc uint64
+			blockio.ReadRange(e, b, w.in, lo, hi, func(_ int, v uint64) { acc += v })
+			e.Write(dst, acc)
+			rt.FJ.TaskDone(e)
+			return
+		}
+		mid := (lo + hi) / 2
+		slots := e.Alloc(2)
+		k := e.NewClosure(cmb, e.Cont(), uint64(slots), uint64(slots+1), uint64(dst))
+		rt.FJ.Fork2(e,
+			w.fid, []uint64{uint64(lo), uint64(mid), uint64(slots)},
+			w.fid, []uint64{uint64(mid), uint64(hi), uint64(slots + 1)},
+			k)
+	})
+	return w
+}
+
+func (w *treeWorkload) run() bool {
+	return w.rt.Run(w.fid, 0, uint64(w.n), uint64(w.out)) &&
+		w.rt.Machine.Mem.Read(w.out) == w.want
+}
+
+// runE4 — deque protocol validation: every entry transition across a faulty
+// multi-processor run must follow Figure 4 (plus the Lemma A.12 exception),
+// and final deques must be shape-valid with no dangling work.
+func runE4() {
+	fmt.Printf("%6s %8s %8s %10s %10s %8s\n", "P", "f", "steals", "trans", "badTrans", "result")
+	for _, p := range []int{2, 4, 8} {
+		for _, f := range []float64{0, 0.01} {
+			rt := core.New(core.Config{P: p, FaultRate: f, Seed: uint64(p)*7 + 1,
+				DieAt: map[int]int64{p - 1: 400}})
+			w := newTreeWorkload(rt, 2048, 32)
+			l := rt.Sched.Layout()
+			isEntry := map[pmem.Addr]bool{}
+			for q := 0; q < p; q++ {
+				for i := 0; i < l.Entries; i++ {
+					isEntry[l.EntryAddr(q, i)] = true
+				}
+			}
+			var mu sync.Mutex
+			var total, bad int64
+			rt.Machine.Mem.SetWatcher(func(a pmem.Addr, old, new uint64) {
+				if !isEntry[a] {
+					return
+				}
+				mu.Lock()
+				total++
+				if !deque.ValidTransition(old, new) {
+					bad++
+				}
+				mu.Unlock()
+			})
+			ok := w.run()
+			shape := "ok"
+			for q := 0; q < p; q++ {
+				if err := l.Read(rt.Machine.Mem, q).CheckShape(); err != nil {
+					shape = "BAD"
+				}
+			}
+			s := rt.Stats()
+			fmt.Printf("%6d %8.2f %8d %10d %10d %8v/%s\n",
+				p, f, s.Steals, total, bad, ok, shape)
+		}
+	}
+	fmt.Println("check: badTrans = 0, result true/ok everywhere")
+}
+
+// runE5 — Theorem 6.2: Tf ≈ O(W/P + D·⌈log_{1/(Cf)} W⌉). Sweep P and f,
+// report the model time Tf (max per-processor transfers) and speedup.
+func runE5() {
+	const n, leaf = 8192, 32
+	fmt.Printf("%6s %8s %12s %12s %10s %10s\n", "P", "f", "Wf", "Tf", "speedup", "restarts")
+	var t1 float64
+	for _, f := range []float64{0, 0.002, 0.01} {
+		for _, p := range []int{1, 2, 4, 8} {
+			rt := core.New(core.Config{P: p, FaultRate: f, Seed: 5,
+				PoolWords: 1 << 21, MemWords: 1 << 25})
+			w := newTreeWorkload(rt, n, leaf)
+			if !w.run() {
+				fmt.Printf("%6d %8.3f  FAILED\n", p, f)
+				continue
+			}
+			s := rt.Stats()
+			if p == 1 && f == 0 {
+				t1 = float64(s.MaxProcWork)
+			}
+			fmt.Printf("%6d %8.3f %12d %12d %10.2f %10d\n",
+				p, f, s.Work, s.MaxProcWork, t1/float64(s.MaxProcWork), s.Restarts)
+		}
+	}
+	fmt.Println("check: Tf falls with P (ABP W/P term); extra f only adds the")
+	fmt.Println("log_{1/(Cf)}W depth factor, so speedup shape is preserved")
+}
+
+// runE6 — hard faults: kill k of P processors early; completion must hold
+// and Tf degrade roughly with P/PA.
+func runE6() {
+	const n, leaf = 4096, 32
+	fmt.Printf("%6s %6s %12s %12s %8s\n", "P", "dead", "Wf", "Tf", "result")
+	for _, dead := range []int{0, 1, 2, 4, 6} {
+		die := map[int]int64{}
+		for i := 0; i < dead; i++ {
+			die[i+1] = int64(100 + 50*i)
+		}
+		rt := core.New(core.Config{P: 8, DieAt: die, Seed: 3,
+			PoolWords: 1 << 21, MemWords: 1 << 25})
+		w := newTreeWorkload(rt, n, leaf)
+		ok := w.run()
+		s := rt.Stats()
+		fmt.Printf("%6d %6d %12d %12d %8v\n", 8, s.Dead, s.Work, s.MaxProcWork, ok)
+	}
+	fmt.Println("check: always completes; Tf grows as survivors shrink (P/PA factor)")
+}
+
+// runE11 — Figure 2: racing CAM claims with faults; exactly one winner.
+func runE11() {
+	wins := map[int]int{}
+	const trials = 50
+	for seed := uint64(0); seed < trials; seed++ {
+		rt := core.New(core.Config{P: 4, FaultRate: 0.1, Seed: seed})
+		m := rt.Machine
+		owner := m.HeapAllocBlocks(1)
+		var claim, check capsule.FuncID
+		check = m.Registry.Register("claim/check", func(e capsule.Env) {
+			e.Halt()
+		})
+		claim = m.Registry.Register("claim/cam", func(e capsule.Env) {
+			e.CAM(owner, 0, uint64(e.ProcID())+1)
+			e.Install(e.NewClosure(check, pmem.Nil))
+		})
+		for p := 0; p < 4; p++ {
+			m.SetRestart(p, m.BuildClosure(p, claim, pmem.Nil))
+		}
+		m.Run()
+		v := int(m.Mem.Read(owner))
+		if v == 0 {
+			fmt.Println("VIOLATION: nobody claimed")
+			return
+		}
+		wins[v-1]++
+	}
+	fmt.Printf("%d trials at f=0.10, winner distribution by processor: %v\n", trials, wins)
+	fmt.Println("check: every trial has exactly one winner (Theorem 5.2)")
+}
+
+// runA1 — the CAS ablation: a steal protocol that branches on the CAS result
+// loses the stolen job when a fault lands right after the swap; the CAM +
+// re-check protocol recovers. (Mirrors TestCASLosesStealCAMDoesNot.)
+func runA1() {
+	fmt.Println("protocol   fault-after-RMW   job-executed   entry-state")
+	for _, useCAS := range []bool{false, true} {
+		out, st := casAblation(useCAS)
+		name := "CAM+check"
+		if useCAS {
+			name = "CAS-branch"
+		}
+		executed := out == 777
+		fmt.Printf("%-10s %-17s %-14v %v\n", name, "yes", executed, st)
+	}
+	fmt.Println("check: CAM executes the stolen job; CAS silently drops it")
+}
+
+type onceInjector struct {
+	mu           sync.Mutex
+	armed, fired bool
+}
+
+func (fi *onceInjector) arm() {
+	fi.mu.Lock()
+	if !fi.fired {
+		fi.armed = true
+	}
+	fi.mu.Unlock()
+}
+
+func (fi *onceInjector) At(int) fault.Kind {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.armed && !fi.fired {
+		fi.armed, fi.fired = false, true
+		return fault.Soft
+	}
+	return fault.None
+}
+
+func casAblation(useCAS bool) (uint64, deque.State) {
+	inj := &onceInjector{}
+	rt := core.New(core.Config{P: 1, Injector: inj})
+	m := rt.Machine
+	l := rt.Sched.Layout()
+	out := m.HeapAllocBlocks(1)
+	entry := l.EntryAddr(0, 4)
+	old := deque.Pack(1, deque.Job, 12345)
+	m.Mem.Write(entry, old)
+	newWord := deque.Bump(old, deque.Taken, 0)
+
+	success := m.Registry.Register("a1/success", func(e capsule.Env) {
+		e.Write(out, 777)
+		e.Halt()
+	})
+	failed := m.Registry.Register("a1/fail", func(e capsule.Env) { e.Halt() })
+	var grab capsule.FuncID
+	if useCAS {
+		grab = m.Registry.Register("a1/grabCAS", func(e capsule.Env) {
+			ok := e.CAS(entry, old, newWord)
+			inj.arm()
+			if ok {
+				e.Install(e.NewClosure(success, pmem.Nil))
+			} else {
+				e.Install(e.NewClosure(failed, pmem.Nil))
+			}
+		})
+	} else {
+		grab = m.Registry.Register("a1/grabCAM", func(e capsule.Env) {
+			e.CAM(entry, old, newWord)
+			inj.arm()
+			if e.Read(entry) == newWord {
+				e.Install(e.NewClosure(success, pmem.Nil))
+			} else {
+				e.Install(e.NewClosure(failed, pmem.Nil))
+			}
+		})
+	}
+	m.SetRestart(0, m.BuildClosure(0, grab, pmem.Nil))
+	m.RunProc(0)
+	return m.Mem.Read(out), deque.StateOf(m.Mem.Read(entry))
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/simcache"
+	"repro/internal/simem"
+	"repro/internal/simram"
+)
+
+// runE1 — Theorem 3.2. The per-step cost Wf/t must be flat in t and grow
+// with f roughly like 1/(1-kf).
+func runE1() {
+	fmt.Printf("%8s %8s %12s %10s %8s\n", "t", "f", "Wf", "Wf/t", "faults")
+	for _, n := range []int{20, 100, 500, 2500} {
+		prog := simram.FibProgram(n)
+		_, steps, err := prog.RunNative(nil, 1<<30)
+		if err != nil {
+			panic(err)
+		}
+		for _, f := range []float64{0, 0.01, 0.05} {
+			var inj fault.Injector = fault.NoFaults{}
+			if f > 0 {
+				inj = fault.NewIID(1, f, 11)
+			}
+			m := machine.New(machine.Config{P: 1, Injector: inj})
+			sim := simram.New(m, fmt.Sprintf("e1-%d-%v", n, f), prog, 2)
+			sim.Install(0)
+			m.Run()
+			s := m.Stats.Summarize()
+			fmt.Printf("%8d %8.2f %12d %10.1f %8d\n",
+				steps, f, s.Work, float64(s.Work)/float64(steps), s.SoftFaults)
+		}
+	}
+	fmt.Println("check: Wf/t flat in t per f; grows with f (expected-constant overhead)")
+}
+
+// runE2 — Theorem 3.3. Simulating a scan: per-access PM cost flat in t; the
+// paper's condition f <= B/(cM) keeps round failure probability constant.
+func runE2() {
+	const b = 8
+	fmt.Printf("%8s %8s %8s %12s %10s\n", "t", "M/B", "f", "Wf", "Wf/t")
+	for _, nb := range []int{32, 128, 512} {
+		for _, mb := range []int{4, 16} {
+			mWords := mb * b
+			prog := &simem.ScanSum{NBlocks: nb, OutBlock: nb, B: b, M: mWords}
+			nat := make([]uint64, (nb+1)*b)
+			tAcc, err := simem.RunNative(&simem.ScanSum{NBlocks: nb, OutBlock: nb, B: b, M: mWords}, nat, b, 1<<24)
+			if err != nil {
+				panic(err)
+			}
+			f := float64(b) / float64(4*mWords) // f = B/(cM), c=4
+			m := machine.New(machine.Config{P: 1, BlockWords: b, EphWords: 8 * mWords,
+				Injector: fault.NewIID(1, f, 3)})
+			sim := simem.New(m, fmt.Sprintf("e2-%d-%d", nb, mb), prog, nb+1)
+			sim.Install(0)
+			m.Run()
+			s := m.Stats.Summarize()
+			fmt.Printf("%8d %8d %8.4f %12d %10.1f\n",
+				tAcc, mb, f, s.Work, float64(s.Work)/float64(tAcc))
+		}
+	}
+	fmt.Println("check: Wf/t bounded per M/B (the O(M/B)-per-round rounds amortize)")
+}
+
+// runE3 — Theorem 3.4. A hot loop whose working set fits cache: LRU misses
+// (the reference t) stay constant as iterations R grow, and so must the PM
+// simulation cost.
+func runE3() {
+	const b, k = 8, 64
+	fmt.Printf("%8s %10s %12s %12s\n", "R", "LRUmisses", "PMwork", "PM/miss")
+	for _, r := range []int{1, 4, 16, 64} {
+		mem := make([]uint64, k)
+		misses, err := simcache.RunLRU(&simcache.HotLoop{K: k, R: r}, mem, 2*k/b, b, 1<<24)
+		if err != nil {
+			panic(err)
+		}
+		m := machine.New(machine.Config{P: 1, BlockWords: b, EphWords: 16 * k})
+		sim := simcache.New(m, fmt.Sprintf("e3-%d", r), &simcache.HotLoop{K: k, R: r}, k, 2*k)
+		sim.Install(0)
+		m.Run()
+		s := m.Stats.Summarize()
+		fmt.Printf("%8d %10d %12d %12.1f\n",
+			r, misses, s.Work, float64(s.Work)/float64(misses))
+	}
+	fmt.Println("check: PM cost per ideal-cache miss flat in R (hits are free)")
+}

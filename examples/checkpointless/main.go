@@ -1,0 +1,45 @@
+// checkpointless contrasts the capsule discipline with what it replaces:
+// running a legacy sequential RAM program on persistent memory with NO
+// application-level checkpointing, via the Theorem 3.2 simulation — one
+// instruction per capsule, registers double-buffered in persistent memory.
+//
+// The same fibonacci program runs at increasing fault rates; the answer
+// never changes, only the total work (the 1/(1-kf) expected blow-up).
+//
+//	go run ./examples/checkpointless
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/simram"
+)
+
+func main() {
+	prog := simram.FibProgram(40)
+	_, steps, err := prog.RunNative(nil, 1<<30)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("RAM program: fib(40), %d instructions\n", steps)
+	fmt.Printf("%8s %14s %12s %10s\n", "f", "result", "Wf", "Wf/step")
+
+	for _, f := range []float64{0, 0.001, 0.01, 0.05, 0.10} {
+		var inj fault.Injector = fault.NoFaults{}
+		if f > 0 {
+			inj = fault.NewIID(1, f, 7)
+		}
+		m := machine.New(machine.Config{P: 1, Injector: inj})
+		sim := simram.New(m, fmt.Sprintf("fib-%v", f), prog, 2)
+		sim.Install(0)
+		m.Run()
+		regs := sim.Regs()
+		s := m.Stats.Summarize()
+		fmt.Printf("%8.3f %14d %12d %10.1f\n",
+			f, regs[0], s.Work, float64(s.Work)/float64(steps))
+	}
+	fmt.Println("\nsame answer at every fault rate; cost stays O(t) with a")
+	fmt.Println("fault-dependent constant — Theorem 3.2 in action")
+}

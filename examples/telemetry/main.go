@@ -1,0 +1,79 @@
+// telemetry sorts a batch of out-of-order sensor readings on a crash-prone
+// cluster — the kind of workload the paper's introduction motivates: large
+// persistent memory, small volatile state, processors that can drop out at
+// any time.
+//
+// The example runs the Theorem 7.3 samplesort and the baseline mergesort on
+// the same faulty machine configuration and reports both the (identical)
+// results and the work each algorithm spent.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/algos/sort"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func main() {
+	const n = 1 << 13
+
+	// Simulated sensor telemetry: timestamp-like keys arriving shuffled.
+	x := rng.NewXoshiro256(2024)
+	readings := make([]uint64, n)
+	for i := range readings {
+		readings[i] = uint64(i)*1000 + x.Next()%997
+	}
+	x.Shuffle(readings)
+
+	run := func(name string, sample bool) []uint64 {
+		rt := core.New(core.Config{
+			P:         4,
+			FaultRate: 0.002,
+			DieAt:     map[int]int64{3: 5000}, // one node dies mid-batch
+			Seed:      99,
+			EphWords:  1 << 13,
+			MemWords:  1 << 24,
+		})
+		var out func() []uint64
+		var ok bool
+		if sample {
+			ss := sort.NewSampleSort(rt.Machine, rt.FJ, "telemetry", n, 1024)
+			ss.LoadInput(readings)
+			ok = ss.Run()
+			out = ss.Output
+		} else {
+			ms := sort.NewMergeSort(rt.Machine, rt.FJ, "telemetry", n, 1024)
+			ms.LoadInput(readings)
+			ok = ms.Run()
+			out = ms.Output
+		}
+		if !ok {
+			fmt.Printf("%s: cluster lost\n", name)
+			return nil
+		}
+		s := rt.Stats()
+		fmt.Printf("%-11s sorted %d readings | algorithm work W=%d, total Wf=%d, faults=%d, steals=%d, dead=%d\n",
+			name+":", n, s.UserWork, s.Work, s.SoftFaults, s.Steals, s.Dead)
+		return out()
+	}
+
+	bySample := run("samplesort", true)
+	byMerge := run("mergesort", false)
+
+	want := sort.Sequential(readings)
+	okS, okM := true, true
+	for i := range want {
+		if bySample[i] != want[i] {
+			okS = false
+		}
+		if byMerge[i] != want[i] {
+			okM = false
+		}
+	}
+	fmt.Printf("samplesort correct: %v, mergesort correct: %v\n", okS, okM)
+	fmt.Println("(same machine, same faults, same dead node — both exactly right)")
+}

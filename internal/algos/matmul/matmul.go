@@ -1,0 +1,278 @@
+// Package matmul implements the fault-tolerant recursive matrix multiply of
+// Section 7 (Theorem 7.4): the standard 8-way divide and conquer, modified
+// so that each pair of subproducts sharing an output quadrant writes into
+// two separate temporary matrices, which a later addition phase combines —
+// eliminating the read-modify-write of the naive algorithm and with it all
+// write-after-read conflicts.
+//
+// Work is O(n³/(B·√M)), depth O(√M·polylog), and maximum capsule work
+// O(M/B + √M) (a base-case multiply or an addition strip that fits the
+// ephemeral memory).
+//
+// Temporary space is pre-planned at Build time, one region per recursion
+// node (the paper instead stack-allocates from the execution order and
+// reclaims; our bump-allocating simulator trades space for simplicity, as
+// DESIGN.md documents).
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/algos/blockio"
+	"repro/internal/capsule"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// node is one recursion level's pre-planned temp storage.
+type node struct {
+	dim      int       // matrix dimension at this node
+	t1, t2   pmem.Addr // 4 quadrant buffers each, (dim/2)² words per quadrant
+	children [8]int    // child node ids (internal nodes only)
+}
+
+// MM is one matrix-multiply instance.
+type MM struct {
+	m    *machine.Machine
+	fj   *forkjoin.FJ
+	n    int
+	base int // sequential base-case dimension ≈ √M
+	b    int
+	mM   int
+
+	a, bm, c pmem.Addr
+	nodes    []node
+
+	runFid, mulFid, deriveFid, addFid capsule.FuncID
+}
+
+// Build allocates an n×n multiply (n a power of two). base is the
+// sequential base-case dimension (0 = largest power of two with
+// 3·base² ≤ mWords).
+func Build(m *machine.Machine, fj *forkjoin.FJ, name string, n, base, mWords int) *MM {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("matmul: n must be a positive power of two")
+	}
+	if mWords <= 0 {
+		mWords = m.EphWords() / 2
+	}
+	if base <= 0 {
+		base = 1
+		for 3*(base*2)*(base*2) <= mWords {
+			base *= 2
+		}
+	}
+	if base > n {
+		base = n
+	}
+	mm := &MM{m: m, fj: fj, n: n, base: base, b: m.BlockWords(), mM: mWords}
+	mm.a = m.HeapAllocBlocks(n * n)
+	mm.bm = m.HeapAllocBlocks(n * n)
+	mm.c = m.HeapAllocBlocks(n * n)
+	mm.plan(n)
+
+	r := m.Registry
+	mm.runFid = r.Register("matmul/"+name+"/run", mm.runRoot)
+	mm.mulFid = r.Register("matmul/"+name+"/mul", mm.runMul)
+	mm.deriveFid = r.Register("matmul/"+name+"/subMul", mm.runSubMul)
+	mm.addFid = r.Register("matmul/"+name+"/addRows", mm.runAddRows)
+	return mm
+}
+
+// plan pre-allocates the recursion tree's temp matrices.
+func (mm *MM) plan(dim int) int {
+	id := len(mm.nodes)
+	mm.nodes = append(mm.nodes, node{dim: dim})
+	if dim <= mm.base {
+		return id
+	}
+	h := dim / 2
+	t1 := mm.m.HeapAllocBlocks(4 * h * h)
+	t2 := mm.m.HeapAllocBlocks(4 * h * h)
+	mm.nodes[id].t1, mm.nodes[id].t2 = t1, t2
+	var ch [8]int
+	for p := 0; p < 8; p++ {
+		ch[p] = mm.plan(h)
+	}
+	mm.nodes[id].children = ch
+	return id
+}
+
+// LoadInputs writes the two input matrices (row-major) at setup time.
+func (mm *MM) LoadInputs(a, b []uint64) {
+	if len(a) != mm.n*mm.n || len(b) != mm.n*mm.n {
+		panic("matmul: input size mismatch")
+	}
+	mm.m.Mem.Load(mm.a, a)
+	mm.m.Mem.Load(mm.bm, b)
+}
+
+// Run executes the multiply.
+func (mm *MM) Run() bool { return mm.fj.Run(mm.runFid) }
+
+// Output returns C (row-major).
+func (mm *MM) Output() []uint64 { return mm.m.Mem.Snapshot(mm.c, mm.n*mm.n) }
+
+// RootFid exposes the root capsule for harnesses.
+func (mm *MM) RootFid() capsule.FuncID { return mm.runFid }
+
+// Arg packing: matrix views are (row, col) offsets into the global A and B
+// (strides are always n); destinations are (base addr, stride).
+func packRC(r, c int) uint64        { return uint64(r)<<16 | uint64(c) }
+func unpackRC(v uint64) (int, int)  { return int(v >> 16 & 0xffff), int(v & 0xffff) }
+func packDst(a pmem.Addr, s int) uint64 {
+	return uint64(a)<<16 | uint64(s)
+}
+func unpackDst(v uint64) (pmem.Addr, int) { return pmem.Addr(v >> 16), int(v & 0xffff) }
+
+func (mm *MM) runRoot(e capsule.Env) {
+	e.Install(e.NewClosure(mm.mulFid, e.Cont(),
+		0, packRC(0, 0), packRC(0, 0), packDst(mm.c, mm.n)))
+}
+
+// runMul: args [node, aRC, bRC, dst].
+func (mm *MM) runMul(e capsule.Env) {
+	mm.doMul(e, int(e.Arg(0)), e.Arg(1), e.Arg(2), e.Arg(3))
+}
+
+// runSubMul is the ParallelFor task deriving subproduct p of a node:
+// args [lo, hi(=lo+1), node, views] with views = aRC<<32 | bRC packed by
+// doMul via the parfor a0/a1 slots: a0 = node, a1 = aRC | bRC<<32.
+func (mm *MM) runSubMul(e capsule.Env) {
+	p := int(e.Arg(0))
+	if int(e.Arg(1)) != p+1 {
+		panic("matmul: subMul grain must be 1")
+	}
+	nd := int(e.Arg(2))
+	aR, aC := unpackRC(e.Arg(3) & 0xffffffff)
+	bR, bC := unpackRC(e.Arg(3) >> 32)
+	n := &mm.nodes[nd]
+	h := n.dim / 2
+	q := p / 2 // quadrant: (i,j) = (q/2, q%2)
+	i, j, s := q/2, q%2, p%2
+	t := n.t1
+	if s == 1 {
+		t = n.t2
+	}
+	dst := packDst(t+pmem.Addr(q*h*h), h)
+	mm.doMul(e, n.children[p],
+		packRC(aR+i*h, aC+s*h),
+		packRC(bR+s*h, bC+j*h),
+		dst)
+}
+
+// doMul is the shared body: multiply the dim×dim views of A and B given by
+// aRC and bRC into dst.
+func (mm *MM) doMul(e capsule.Env, nd int, aRC, bRC, dst uint64) {
+	n := &mm.nodes[nd]
+	dim := n.dim
+	if dim <= mm.base {
+		mm.leafMul(e, dim, aRC, bRC, dst)
+		return
+	}
+	h := dim / 2
+	// Phase 1: the 8 subproducts in parallel; phase 2: 4·h addition rows.
+	dBase, dStride := unpackDst(dst)
+	addGrain := mm.mM / (4 * (h/mm.b + 2))
+	if addGrain < 1 {
+		addGrain = 1
+	}
+	add := e.NewClosure(mm.fj.ParForFid(), e.Cont(),
+		uint64(mm.addFid), 0, uint64(4*h), uint64(addGrain),
+		uint64(nd), packDst(dBase, dStride))
+	views := aRC | bRC<<32
+	e.Install(e.NewClosure(mm.fj.ParForFid(), add,
+		uint64(mm.deriveFid), 0, 8, 1, uint64(nd), views))
+}
+
+// leafMul: sequential base case — read both operand views, multiply in
+// ephemeral memory (free), write the destination view. O(dim²/B + dim)
+// transfers.
+func (mm *MM) leafMul(e capsule.Env, dim int, aRC, bRC, dst uint64) {
+	aR, aC := unpackRC(aRC)
+	bR, bC := unpackRC(bRC)
+	dBase, dStride := unpackDst(dst)
+
+	av := mm.readView(e, mm.a, aR, aC, dim)
+	bv := mm.readView(e, mm.bm, bR, bC, dim)
+	cv := make([]uint64, dim*dim)
+	for i := 0; i < dim; i++ {
+		for k := 0; k < dim; k++ {
+			aik := av[i*dim+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				cv[i*dim+j] += aik * bv[k*dim+j]
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		off := i * dStride
+		blockio.WriteRange(e, mm.b, dBase, off, off+dim, cv[i*dim:(i+1)*dim])
+	}
+	mm.fj.TaskDone(e)
+}
+
+// readView reads a dim×dim view of a stride-n matrix.
+func (mm *MM) readView(e capsule.Env, base pmem.Addr, r, c, dim int) []uint64 {
+	out := make([]uint64, 0, dim*dim)
+	for i := 0; i < dim; i++ {
+		off := (r+i)*mm.n + c
+		blockio.ReadRange(e, mm.b, base, off, off+dim, func(_ int, v uint64) {
+			out = append(out, v)
+		})
+	}
+	return out
+}
+
+// runAddRows: ParallelFor task over the 4·h addition rows of a node:
+// row index r encodes quadrant q = r/h and row r%h. Reads the two temp rows,
+// writes their sum into the destination quadrant row.
+// Args: [lo, hi, node, dst].
+func (mm *MM) runAddRows(e capsule.Env) {
+	nd := int(e.Arg(2))
+	n := &mm.nodes[nd]
+	h := n.dim / 2
+	dBase, dStride := unpackDst(e.Arg(3))
+	for r := int(e.Arg(0)); r < int(e.Arg(1)); r++ {
+		q, row := r/h, r%h
+		i, j := q/2, q%2
+		t1off := q*h*h + row*h
+		sum := make([]uint64, h)
+		blockio.ReadRange(e, mm.b, n.t1, t1off, t1off+h, func(idx int, v uint64) {
+			sum[idx-t1off] = v
+		})
+		blockio.ReadRange(e, mm.b, n.t2, t1off, t1off+h, func(idx int, v uint64) {
+			sum[idx-t1off] += v
+		})
+		dOff := (i*h+row)*dStride + j*h
+		blockio.WriteRange(e, mm.b, dBase, dOff, dOff+h, sum)
+	}
+	mm.fj.TaskDone(e)
+}
+
+// Native is the reference implementation (row-major).
+func Native(a, b []uint64, n int) []uint64 {
+	c := make([]uint64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+// Validate panics unless n, base, B form a sane configuration (debug aid).
+func (mm *MM) Validate() {
+	if mm.base*mm.base*3 > 8*mm.mM {
+		panic(fmt.Sprintf("matmul: base %d too large for M %d", mm.base, mm.mM))
+	}
+}

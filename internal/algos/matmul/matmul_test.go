@@ -1,0 +1,147 @@
+package matmul
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func env(cfg machine.Config) (*machine.Machine, *forkjoin.FJ) {
+	m := machine.New(cfg)
+	s := sched.New(m, 4096)
+	return m, forkjoin.New(m, s)
+}
+
+func randMat(n int, seed uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	out := make([]uint64, n*n)
+	for i := range out {
+		out[i] = x.Next() % 100
+	}
+	return out
+}
+
+func checkEqual(t *testing.T, got, want []uint64) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNativeIdentity(t *testing.T) {
+	id := []uint64{1, 0, 0, 1}
+	a := []uint64{5, 6, 7, 8}
+	got := Native(a, id, 2)
+	checkEqual(t, got, a)
+}
+
+func TestMatMulFaultless(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			m, fj := env(machine.Config{P: 2, Check: true, MemWords: 1 << 24})
+			mm := Build(m, fj, "t", n, 4, 0)
+			a, b := randMat(n, 1), randMat(n, 2)
+			mm.LoadInputs(a, b)
+			if !mm.Run() {
+				t.Fatal("did not complete")
+			}
+			checkEqual(t, mm.Output(), Native(a, b, n))
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestMatMulBaseEqualsN(t *testing.T) {
+	// Whole multiply in one capsule when n <= base.
+	m, fj := env(machine.Config{P: 1, Check: true, StrictCheck: true})
+	mm := Build(m, fj, "t", 8, 8, 0)
+	a, b := randMat(8, 3), randMat(8, 4)
+	mm.LoadInputs(a, b)
+	if !mm.Run() {
+		t.Fatal("did not complete")
+	}
+	checkEqual(t, mm.Output(), Native(a, b, 8))
+}
+
+func TestMatMulSoftFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			m, fj := env(machine.Config{P: 4, Seed: seed, Check: true, MemWords: 1 << 24,
+				Injector: fault.NewIID(4, 0.005, seed)})
+			mm := Build(m, fj, "t", 16, 4, 0)
+			a, b := randMat(16, seed), randMat(16, seed+9)
+			mm.LoadInputs(a, b)
+			if !mm.Run() {
+				t.Fatal("did not complete")
+			}
+			checkEqual(t, mm.Output(), Native(a, b, 16))
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestMatMulHardFaults(t *testing.T) {
+	inj := fault.NewCombined(fault.NewIID(4, 0.002, 5), map[int]int64{1: 90, 2: 150})
+	m, fj := env(machine.Config{P: 4, Seed: 5, Check: true, MemWords: 1 << 24, Injector: inj})
+	mm := Build(m, fj, "t", 16, 4, 0)
+	a, b := randMat(16, 7), randMat(16, 8)
+	mm.LoadInputs(a, b)
+	if !mm.Run() {
+		t.Fatal("did not complete")
+	}
+	checkEqual(t, mm.Output(), Native(a, b, 16))
+}
+
+// TestTheorem74WorkScaling: W = O(n³/(B√M)): with base = √M fixed, work
+// grows ~8x when n doubles.
+func TestTheorem74WorkScaling(t *testing.T) {
+	work := func(n int) int64 {
+		m, fj := env(machine.Config{P: 1, MemWords: 1 << 25})
+		mm := Build(m, fj, "t", n, 8, 0)
+		mm.LoadInputs(randMat(n, 1), randMat(n, 2))
+		if !mm.Run() {
+			t.Fatal("did not complete")
+		}
+		return m.Stats.Summarize().UserWork
+	}
+	w32 := work(32)
+	w64 := work(64)
+	factor := float64(w64) / float64(w32)
+	t.Logf("W(32)=%d W(64)=%d factor=%.1f", w32, w64, factor)
+	// The cubic term dominates: expect ~8x (allow 5x..11x for lower-order
+	// addition terms).
+	if factor < 5 || factor > 11 {
+		t.Errorf("doubling n scaled work by %.1f, want ~8", factor)
+	}
+}
+
+// TestTheorem74BaseAblation: larger base (more ephemeral use) reduces work —
+// the O(n³/(B√M)) dependence on M.
+func TestTheorem74BaseAblation(t *testing.T) {
+	work := func(base int) int64 {
+		m, fj := env(machine.Config{P: 1, MemWords: 1 << 25})
+		mm := Build(m, fj, "t", 64, base, 1<<20)
+		mm.LoadInputs(randMat(64, 3), randMat(64, 4))
+		if !mm.Run() {
+			t.Fatal("did not complete")
+		}
+		return m.Stats.Summarize().UserWork
+	}
+	w4 := work(4)
+	w16 := work(16)
+	t.Logf("W(base=4)=%d W(base=16)=%d", w4, w16)
+	if w16 >= w4 {
+		t.Errorf("bigger base did not reduce work: %d -> %d", w4, w16)
+	}
+}

@@ -1,0 +1,157 @@
+package merge
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func build(cfg machine.Config, la, lb, leaf int) (*machine.Machine, *M) {
+	m := machine.New(cfg)
+	s := sched.New(m, 2048)
+	fj := forkjoin.New(m, s)
+	return m, Build(m, fj, "t", la, lb, leaf)
+}
+
+func sortedInput(n int, seed uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = x.Next() % 10000
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v
+}
+
+func verify(t *testing.T, mg *M, a, b []uint64) {
+	t.Helper()
+	want := Sequential(a, b)
+	got := mg.Output()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSequentialReference(t *testing.T) {
+	got := Sequential([]uint64{1, 3, 5}, []uint64{2, 4, 6})
+	want := []uint64{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestMergeFaultless(t *testing.T) {
+	cases := []struct{ la, lb int }{
+		{1, 1}, {10, 1}, {1, 10}, {64, 64}, {100, 37}, {513, 511},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%dx%d", c.la, c.lb), func(t *testing.T) {
+			m, mg := build(machine.Config{P: 2, Check: true}, c.la, c.lb, 0)
+			a := sortedInput(c.la, uint64(c.la))
+			b := sortedInput(c.lb, uint64(c.lb)+99)
+			mg.LoadInputs(a, b)
+			if !mg.Run() {
+				t.Fatal("did not complete")
+			}
+			verify(t, mg, a, b)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestMergeWithDuplicates(t *testing.T) {
+	_, mg := build(machine.Config{P: 2, Check: true}, 40, 40, 0)
+	a := make([]uint64, 40)
+	b := make([]uint64, 40)
+	for i := range a {
+		a[i] = uint64(i / 4)
+		b[i] = uint64(i / 3)
+	}
+	mg.LoadInputs(a, b)
+	if !mg.Run() {
+		t.Fatal("did not complete")
+	}
+	verify(t, mg, a, b)
+}
+
+func TestMergeSoftFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			m, mg := build(machine.Config{
+				P: 4, Seed: seed, Check: true,
+				Injector: fault.NewIID(4, 0.01, seed),
+			}, 200, 150, 0)
+			a := sortedInput(200, seed)
+			b := sortedInput(150, seed+7)
+			mg.LoadInputs(a, b)
+			if !mg.Run() {
+				t.Fatal("did not complete")
+			}
+			verify(t, mg, a, b)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestMergeHardFaults(t *testing.T) {
+	inj := fault.NewCombined(fault.NewIID(4, 0.005, 3), map[int]int64{2: 70})
+	_, mg := build(machine.Config{P: 4, Seed: 3, Check: true, Injector: inj}, 256, 256, 0)
+	a := sortedInput(256, 31)
+	b := sortedInput(256, 41)
+	mg.LoadInputs(a, b)
+	if !mg.Run() {
+		t.Fatal("did not complete")
+	}
+	verify(t, mg, a, b)
+}
+
+// TestTheorem72Work: faultless work O(n/B) — per-(n/B) ratio bounded.
+// The binary searches contribute O((n/leaf) log n) extra probes, which for
+// leaf = Θ(B) is O(n/B · log n / B)... dominated for moderate B; allow a
+// loose factor.
+func TestTheorem72Work(t *testing.T) {
+	work := func(n int) float64 {
+		m, mg := build(machine.Config{P: 1}, n, n, 0)
+		mg.LoadInputs(sortedInput(n, 1), sortedInput(n, 2))
+		if !mg.Run() {
+			t.Fatal("did not complete")
+		}
+		return float64(m.Stats.Summarize().Work) / (2 * float64(n) / float64(m.BlockWords()))
+	}
+	small := work(1 << 9)
+	large := work(1 << 12)
+	if large > small*2 {
+		t.Errorf("work per n/B grew %f -> %f", small, large)
+	}
+}
+
+// TestTheorem72CapsuleWork: C = O(log n): grows slowly with n.
+func TestTheorem72CapsuleWork(t *testing.T) {
+	capsWork := func(n int) int64 {
+		m, mg := build(machine.Config{P: 1}, n, n, 0)
+		mg.LoadInputs(sortedInput(n, 3), sortedInput(n, 4))
+		mg.Run()
+		return m.Stats.Summarize().MaxCapsWork
+	}
+	c1 := capsWork(1 << 8)
+	c2 := capsWork(1 << 12)
+	// log grows by 4; capsule work may grow additively but must not blow
+	// up multiplicatively like n would (16x).
+	if c2 > 3*c1 {
+		t.Errorf("max capsule work grew too fast: %d -> %d", c1, c2)
+	}
+}

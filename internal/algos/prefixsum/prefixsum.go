@@ -1,0 +1,154 @@
+// Package prefixsum implements the fault-tolerant parallel prefix-sum
+// algorithm of Section 7 (Theorem 7.1): the classic two-phase up-sweep /
+// down-sweep divide and conquer, restructured so every capsule is
+// write-after-read conflict free — partial sums are written to locations
+// disjoint from everything read in the same capsule.
+//
+// Work is O(n/B) block transfers, depth O(log n), and maximum capsule work
+// O(1) when the leaf size is Θ(B).
+package prefixsum
+
+import (
+	"repro/internal/algos/blockio"
+	"repro/internal/capsule"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// PS is one prefix-sum instance bound to a machine.
+type PS struct {
+	m    *machine.Machine
+	fj   *forkjoin.FJ
+	n    int
+	leaf int
+	b    int
+
+	in   pmem.Addr
+	out  pmem.Addr
+	sums pmem.Addr // one word per tree node, one block apart (WAR safety)
+
+	runFid, upFid, upCmbFid, downFid, noopFid capsule.FuncID
+}
+
+// Build allocates state for a prefix sum over n elements and registers its
+// capsules. leafSize is the sequential base-case size; 0 means the block
+// size B (the work-optimal choice; other values support the capsule-size
+// ablation). Call once per machine per name.
+func Build(m *machine.Machine, fj *forkjoin.FJ, name string, n, leafSize int) *PS {
+	in := m.HeapAllocBlocks(n)
+	out := m.HeapAllocBlocks(n)
+	return BuildOn(m, fj, name, n, leafSize, in, out)
+}
+
+// BuildOn is Build over caller-owned block-aligned input and output arrays,
+// letting other algorithms (e.g. samplesort's offset phase) chain a prefix
+// sum over their own data.
+func BuildOn(m *machine.Machine, fj *forkjoin.FJ, name string, n, leafSize int, in, out pmem.Addr) *PS {
+	b := m.BlockWords()
+	if leafSize <= 0 {
+		leafSize = b
+	}
+	ps := &PS{m: m, fj: fj, n: n, leaf: leafSize, b: b, in: in, out: out}
+	nodes := 4 * (n/leafSize + 2)
+	ps.sums = m.HeapAllocBlocks(nodes * b)
+
+	r := m.Registry
+	ps.runFid = r.Register("prefixsum/"+name+"/run", ps.runRoot)
+	ps.upFid = r.Register("prefixsum/"+name+"/up", ps.runUp)
+	ps.upCmbFid = r.Register("prefixsum/"+name+"/upCombine", ps.runUpCombine)
+	ps.downFid = r.Register("prefixsum/"+name+"/down", ps.runDown)
+	ps.noopFid = r.Register("prefixsum/"+name+"/noop", func(e capsule.Env) {
+		fj.TaskDone(e)
+	})
+	return ps
+}
+
+// LoadInput writes vals into the input array at setup time.
+func (ps *PS) LoadInput(vals []uint64) {
+	if len(vals) != ps.n {
+		panic("prefixsum: input length mismatch")
+	}
+	ps.m.Mem.Load(ps.in, vals)
+}
+
+// Run executes the computation on the machine's scheduler. Returns false if
+// every processor died before completion.
+func (ps *PS) Run() bool { return ps.fj.Run(ps.runFid) }
+
+// Output returns the inclusive prefix sums after a run.
+func (ps *PS) Output() []uint64 { return ps.m.Mem.Snapshot(ps.out, ps.n) }
+
+// RootFid exposes the root capsule for harnesses that drive fj manually.
+func (ps *PS) RootFid() capsule.FuncID { return ps.runFid }
+
+func (ps *PS) sumAddr(node int) pmem.Addr { return ps.sums + pmem.Addr(node*ps.b) }
+
+// runRoot chains up-sweep then down-sweep then the caller's continuation.
+func (ps *PS) runRoot(e capsule.Env) {
+	downRoot := e.NewClosure(ps.downFid, e.Cont(), 1, 0, uint64(ps.n), 0)
+	e.Install(e.NewClosure(ps.upFid, downRoot, 1, 0, uint64(ps.n)))
+}
+
+// runUp: args [node, lo, hi].
+func (ps *PS) runUp(e capsule.Env) {
+	node, lo, hi := int(e.Arg(0)), int(e.Arg(1)), int(e.Arg(2))
+	if hi-lo <= ps.leaf {
+		var acc uint64
+		blockio.ReadRange(e, ps.b, ps.in, lo, hi, func(_ int, v uint64) { acc += v })
+		e.Write(ps.sumAddr(node), acc)
+		ps.fj.TaskDone(e)
+		return
+	}
+	mid := (lo + hi) / 2
+	cmb := e.NewClosure(ps.upCmbFid, e.Cont(), uint64(node))
+	ps.fj.Fork2(e,
+		ps.upFid, []uint64{uint64(2 * node), uint64(lo), uint64(mid)},
+		ps.upFid, []uint64{uint64(2*node + 1), uint64(mid), uint64(hi)},
+		cmb)
+}
+
+// runUpCombine: args [node]. Reads the children's sums, writes the node's.
+func (ps *PS) runUpCombine(e capsule.Env) {
+	node := int(e.Arg(0))
+	l := e.Read(ps.sumAddr(2 * node))
+	r := e.Read(ps.sumAddr(2*node + 1))
+	e.Write(ps.sumAddr(node), l+r)
+	ps.fj.TaskDone(e)
+}
+
+// runDown: args [node, lo, hi, t] where t is the exclusive prefix of the
+// range.
+func (ps *PS) runDown(e capsule.Env) {
+	node, lo, hi, t := int(e.Arg(0)), int(e.Arg(1)), int(e.Arg(2)), e.Arg(3)
+	if hi-lo <= ps.leaf {
+		vals := make([]uint64, hi-lo)
+		acc := t
+		blockio.ReadRange(e, ps.b, ps.in, lo, hi, func(idx int, v uint64) {
+			acc += v
+			vals[idx-lo] = acc
+		})
+		// out and in are disjoint arrays, so the capsule stays WAR-free.
+		blockio.WriteRange(e, ps.b, ps.out, lo, hi, vals)
+		ps.fj.TaskDone(e)
+		return
+	}
+	mid := (lo + hi) / 2
+	lsum := e.Read(ps.sumAddr(2 * node))
+	noop := e.NewClosure(ps.noopFid, e.Cont())
+	ps.fj.Fork2(e,
+		ps.downFid, []uint64{uint64(2 * node), uint64(lo), uint64(mid), t},
+		ps.downFid, []uint64{uint64(2*node + 1), uint64(mid), uint64(hi), t + lsum},
+		noop)
+}
+
+// Sequential is the reference implementation used for verification.
+func Sequential(in []uint64) []uint64 {
+	out := make([]uint64, len(in))
+	var acc uint64
+	for i, v := range in {
+		acc += v
+		out[i] = acc
+	}
+	return out
+}

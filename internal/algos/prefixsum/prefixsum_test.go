@@ -1,0 +1,148 @@
+package prefixsum
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func build(cfg machine.Config, n, leaf int) (*machine.Machine, *PS) {
+	m := machine.New(cfg)
+	s := sched.New(m, 2048)
+	fj := forkjoin.New(m, s)
+	ps := Build(m, fj, "t", n, leaf)
+	return m, ps
+}
+
+func input(n int, seed uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = x.Next() % 1000
+	}
+	return in
+}
+
+func verify(t *testing.T, ps *PS, in []uint64) {
+	t.Helper()
+	want := Sequential(in)
+	got := ps.Output()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSequentialReference(t *testing.T) {
+	got := Sequential([]uint64{1, 2, 3, 4})
+	want := []uint64{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestPrefixSumFaultless(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 100, 257, 1024} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			m, ps := build(machine.Config{P: 2, Check: true}, n, 0)
+			in := input(n, uint64(n))
+			ps.LoadInput(in)
+			if !ps.Run() {
+				t.Fatal("did not complete")
+			}
+			verify(t, ps, in)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestPrefixSumSoftFaults(t *testing.T) {
+	const n = 300
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			m, ps := build(machine.Config{
+				P: 4, Seed: seed, Check: true,
+				Injector: fault.NewIID(4, 0.01, seed),
+			}, n, 0)
+			in := input(n, seed)
+			ps.LoadInput(in)
+			if !ps.Run() {
+				t.Fatal("did not complete")
+			}
+			verify(t, ps, in)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestPrefixSumHardFaults(t *testing.T) {
+	const n = 400
+	inj := fault.NewCombined(fault.NewIID(4, 0.005, 5), map[int]int64{1: 60, 3: 120})
+	_, ps := build(machine.Config{P: 4, Seed: 5, Check: true, Injector: inj}, n, 0)
+	in := input(n, 5)
+	ps.LoadInput(in)
+	if !ps.Run() {
+		t.Fatal("did not complete")
+	}
+	verify(t, ps, in)
+}
+
+func TestPrefixSumNonBlockLeaf(t *testing.T) {
+	// Odd leaf sizes exercise the boundary-word write path.
+	for _, leaf := range []int{1, 3, 5, 13} {
+		t.Run(fmt.Sprintf("leaf=%d", leaf), func(t *testing.T) {
+			_, ps := build(machine.Config{P: 2, Check: true, StrictCheck: true}, 97, leaf)
+			in := input(97, uint64(leaf))
+			ps.LoadInput(in)
+			if !ps.Run() {
+				t.Fatal("did not complete")
+			}
+			verify(t, ps, in)
+		})
+	}
+}
+
+// TestTheorem71WorkScaling: faultless work must scale as O(n/B) — doubling n
+// roughly doubles transfers; the per-(n/B) ratio stays bounded.
+func TestTheorem71WorkScaling(t *testing.T) {
+	work := func(n int) float64 {
+		m, ps := build(machine.Config{P: 1}, n, 0)
+		ps.LoadInput(input(n, 1))
+		if !ps.Run() {
+			t.Fatal("did not complete")
+		}
+		return float64(m.Stats.Summarize().Work) / (float64(n) / float64(m.BlockWords()))
+	}
+	small := work(1 << 10)
+	large := work(1 << 13)
+	if large > small*1.5 {
+		t.Errorf("work per n/B grew %f -> %f; not O(n/B)", small, large)
+	}
+}
+
+// TestTheorem71MaxCapsuleWork: C must be O(1) — independent of n.
+func TestTheorem71MaxCapsuleWork(t *testing.T) {
+	capsWork := func(n int) int64 {
+		m, ps := build(machine.Config{P: 1}, n, 0)
+		ps.LoadInput(input(n, 2))
+		ps.Run()
+		return m.Stats.Summarize().MaxCapsWork
+	}
+	c1 := capsWork(256)
+	c2 := capsWork(4096)
+	if c2 > c1+4 {
+		t.Errorf("max capsule work grew with n: %d -> %d", c1, c2)
+	}
+}

@@ -1,0 +1,215 @@
+// Package sort implements the two fault-tolerant sorting algorithms of
+// Section 7: a parallel mergesort (the paper's baseline, work
+// O(n/B · log(n/M))) and the samplesort of Theorem 7.3 (work
+// O(n/B · log_M n)).
+//
+// Both follow the copy-instead-of-overwrite discipline: every capsule writes
+// to locations disjoint from those it read, so all capsules are
+// write-after-read conflict free and replay cleanly after faults.
+package sort
+
+import (
+	gosort "sort"
+
+	"repro/internal/algos/blockio"
+	"repro/internal/capsule"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// pad value for power-of-two sizing; sorts above real keys.
+const padKey = ^uint64(0)
+
+// MergeSort is a fault-tolerant parallel mergesort instance. The input is
+// padded to a power of two so sibling subtrees always have equal height and
+// ping-pong between two buffers deterministically.
+type MergeSort struct {
+	m    *machine.Machine
+	fj   *forkjoin.FJ
+	n    int // real input size
+	n2   int // padded size
+	leaf int // power-of-two leaf size
+	b    int
+	hgt  int // tree height: leaf nodes at height 0
+
+	in  pmem.Addr
+	buf [2]pmem.Addr
+
+	runFid, nodeFid, mrgFid capsule.FuncID
+}
+
+// NewMergeSort allocates a mergesort of n keys. leafSize (power of two, 0 =
+// max(B, 16)) is the sequential base case.
+func NewMergeSort(m *machine.Machine, fj *forkjoin.FJ, name string, n, leafSize int) *MergeSort {
+	b := m.BlockWords()
+	if leafSize <= 0 {
+		leafSize = b
+		if leafSize < 16 {
+			leafSize = 16
+		}
+	}
+	if leafSize&(leafSize-1) != 0 {
+		panic("sort: leafSize must be a power of two")
+	}
+	ms := &MergeSort{m: m, fj: fj, n: n, leaf: leafSize, b: b}
+	ms.n2 = leafSize
+	for ms.n2 < n {
+		ms.n2 *= 2
+	}
+	for sz := ms.n2; sz > leafSize; sz /= 2 {
+		ms.hgt++
+	}
+	ms.in = m.HeapAllocBlocks(ms.n2)
+	ms.buf[0] = m.HeapAllocBlocks(ms.n2)
+	ms.buf[1] = m.HeapAllocBlocks(ms.n2)
+
+	r := m.Registry
+	ms.runFid = r.Register("msort/"+name+"/run", ms.runRoot)
+	ms.nodeFid = r.Register("msort/"+name+"/node", ms.runNode)
+	ms.mrgFid = r.Register("msort/"+name+"/merge", ms.runMerge)
+	return ms
+}
+
+// LoadInput writes keys (padding the rest) at setup time.
+func (ms *MergeSort) LoadInput(keys []uint64) {
+	if len(keys) != ms.n {
+		panic("sort: input length mismatch")
+	}
+	ms.m.Mem.Load(ms.in, keys)
+	pad := make([]uint64, ms.n2-ms.n)
+	for i := range pad {
+		pad[i] = padKey
+	}
+	ms.m.Mem.Load(ms.in+pmem.Addr(ms.n), pad)
+}
+
+// Run executes the sort.
+func (ms *MergeSort) Run() bool { return ms.fj.Run(ms.runFid) }
+
+// Output returns the sorted keys.
+func (ms *MergeSort) Output() []uint64 {
+	return ms.m.Mem.Snapshot(ms.buf[ms.hgt%2], ms.n)
+}
+
+// RootFid exposes the root capsule for harnesses.
+func (ms *MergeSort) RootFid() capsule.FuncID { return ms.runFid }
+
+// InputAddr exposes the (block-aligned) input array so other algorithms can
+// produce the keys in place (e.g. samplesort's sample phase).
+func (ms *MergeSort) InputAddr() pmem.Addr { return ms.in }
+
+// OutputAddr exposes the buffer holding the sorted result after a run.
+func (ms *MergeSort) OutputAddr() pmem.Addr { return ms.buf[ms.hgt%2] }
+
+// PadFrom fills in[i, n2) with the pad key at setup time, for callers that
+// write the first i keys themselves at runtime.
+func (ms *MergeSort) PadFrom(i int) {
+	pad := make([]uint64, ms.n2-i)
+	for j := range pad {
+		pad[j] = padKey
+	}
+	ms.m.Mem.Load(ms.in+pmem.Addr(i), pad)
+}
+
+func (ms *MergeSort) runRoot(e capsule.Env) {
+	e.Install(e.NewClosure(ms.nodeFid, e.Cont(),
+		0, uint64(ms.n2), uint64(ms.hgt)))
+}
+
+// runNode: args [lo, hi, h]. Height-0 nodes sort sequentially from the input
+// into buf[0]; higher nodes sort both halves then merge
+// buf[(h-1)%2] -> buf[h%2].
+func (ms *MergeSort) runNode(e capsule.Env) {
+	lo, hi, h := int(e.Arg(0)), int(e.Arg(1)), int(e.Arg(2))
+	if h == 0 {
+		keys := make([]uint64, 0, hi-lo)
+		blockio.ReadRange(e, ms.b, ms.in, lo, hi, func(_ int, v uint64) {
+			keys = append(keys, v)
+		})
+		gosort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		blockio.WriteRange(e, ms.b, ms.buf[0], lo, hi, keys)
+		ms.fj.TaskDone(e)
+		return
+	}
+	mid := (lo + hi) / 2
+	mrg := e.NewClosure(ms.mrgFid, e.Cont(),
+		uint64(lo), uint64(mid), uint64(mid), uint64(hi), uint64(lo), uint64(h))
+	ms.fj.Fork2(e,
+		ms.nodeFid, []uint64{uint64(lo), uint64(mid), uint64(h - 1)},
+		ms.nodeFid, []uint64{uint64(mid), uint64(hi), uint64(h - 1)},
+		mrg)
+}
+
+// runMerge: parallel merge of buf[(h-1)%2] ranges [aLo,aHi) and [bLo,bHi)
+// into buf[h%2] starting at outLo. Args: [aLo, aHi, bLo, bHi, outLo, h].
+func (ms *MergeSort) runMerge(e capsule.Env) {
+	aLo, aHi := int(e.Arg(0)), int(e.Arg(1))
+	bLo, bHi := int(e.Arg(2)), int(e.Arg(3))
+	outLo, h := int(e.Arg(4)), int(e.Arg(5))
+	src := ms.buf[(h-1)%2]
+	dst := ms.buf[h%2]
+	total := (aHi - aLo) + (bHi - bLo)
+
+	if total <= 2*ms.leaf {
+		av := make([]uint64, 0, aHi-aLo)
+		blockio.ReadRange(e, ms.b, src, aLo, aHi, func(_ int, v uint64) { av = append(av, v) })
+		bv := make([]uint64, 0, bHi-bLo)
+		blockio.ReadRange(e, ms.b, src, bLo, bHi, func(_ int, v uint64) { bv = append(bv, v) })
+		out := mergeLocal(av, bv)
+		blockio.WriteRange(e, ms.b, dst, outLo, outLo+total, out)
+		ms.fj.TaskDone(e)
+		return
+	}
+	var aMid, bMid int
+	if aHi-aLo >= bHi-bLo {
+		aMid = (aLo + aHi) / 2
+		pivot := blockio.ReadAt(e, ms.b, src, aMid)
+		bMid = lowerBound(e, ms.b, src, bLo, bHi, pivot)
+	} else {
+		bMid = (bLo + bHi) / 2
+		pivot := blockio.ReadAt(e, ms.b, src, bMid)
+		aMid = lowerBound(e, ms.b, src, aLo, aHi, pivot)
+	}
+	leftCount := (aMid - aLo) + (bMid - bLo)
+	ms.fj.Fork2(e,
+		ms.mrgFid, []uint64{uint64(aLo), uint64(aMid), uint64(bLo), uint64(bMid), uint64(outLo), uint64(h)},
+		ms.mrgFid, []uint64{uint64(aMid), uint64(aHi), uint64(bMid), uint64(bHi), uint64(outLo + leftCount), uint64(h)},
+		ms.fj.NoopClosure(e, e.Cont()))
+}
+
+func mergeLocal(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// lowerBound returns the first index in arr[lo,hi) with value >= v.
+func lowerBound(e capsule.Env, b int, arr pmem.Addr, lo, hi int, v uint64) int {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if blockio.ReadAt(e, b, arr, mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sequential is the reference implementation.
+func Sequential(keys []uint64) []uint64 {
+	out := append([]uint64(nil), keys...)
+	gosort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

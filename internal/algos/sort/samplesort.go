@@ -1,0 +1,354 @@
+package sort
+
+import (
+	"fmt"
+	gosort "sort"
+
+	"repro/internal/algos/blockio"
+	"repro/internal/algos/prefixsum"
+	"repro/internal/capsule"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// SampleSort is the Theorem 7.3 algorithm. The implementation realises one
+// level of the paper's recursion, which covers all inputs with n ≤ c·M²
+// (subarrays and buckets then fit the ephemeral memory and sort sequentially
+// inside single capsules, exactly the paper's base case):
+//
+//  1. split into k ≈ √n subarrays (k rounded to a multiple of B so the
+//     count matrices tile cleanly), sort each in one capsule
+//  2. sample every log₂(n)-th element of each sorted subarray, sort the
+//     samples, pick k-1 evenly spaced pivots
+//  3. merge each sorted subarray with the sorted pivots in one pass to
+//     produce its bucket counts (sub-major matrix rows, block writes)
+//  4. transpose the count matrix to bucket-major (B×B tiles), prefix-sum it
+//     (reusing Theorem 7.1), shift to exclusive offsets, and transpose back
+//     so every subarray's scatter destinations are a contiguous row
+//  5. scatter each subarray's bucket segments to their destinations
+//  6. sort each bucket sequentially (≤ M keys with high probability)
+//
+// Every phase writes only arrays it does not read, keeping all capsules
+// write-after-read conflict free. Maximum capsule work is O(M/B); work is
+// O(n/B) per level — O(n/B · log_M n) in the paper's full recursion.
+type SampleSort struct {
+	m  *machine.Machine
+	fj *forkjoin.FJ
+	n  int
+	b  int
+	mM int // the model's M (ephemeral words for sequential base cases)
+
+	k      int // subarray/bucket count: ≈ √n, multiple of B
+	sub    int // subarray size = ceil(n/k)
+	stride int // sampling stride ≈ log2 n
+
+	in      pmem.Addr // input keys (padded to k*sub)
+	sorted  pmem.Addr // concatenated sorted subarrays
+	samples pmem.Addr
+	pivots  pmem.Addr // k-1 pivots
+	counts  pmem.Addr // sub-major: counts[s*k + bkt]
+	countsT pmem.Addr // bucket-major transpose
+	offsT   pmem.Addr // inclusive prefix sums of countsT
+	exclT   pmem.Addr // exclusive prefix sums (offsT shifted by one)
+	dstS    pmem.Addr // sub-major transpose of exclT: scatter destinations
+	scratch pmem.Addr // scattered keys (bucket-contiguous)
+	out     pmem.Addr
+
+	ps     *prefixsum.PS
+	sampMS *MergeSort
+
+	runFid, subSortFid, sampleFid, pivotFid capsule.FuncID
+	countFid, transFid, shiftFid            capsule.FuncID
+	scatterFid, bktSortFid                  capsule.FuncID
+}
+
+// NewSampleSort allocates a samplesort of n keys, using up to mWords of
+// ephemeral memory for sequential base cases (0 = a quarter of the
+// machine's ephemeral memory). Panics if one level of recursion cannot
+// cover n.
+func NewSampleSort(m *machine.Machine, fj *forkjoin.FJ, name string, n, mWords int) *SampleSort {
+	b := m.BlockWords()
+	if mWords <= 0 {
+		mWords = m.EphWords() / 4
+	}
+	ss := &SampleSort{m: m, fj: fj, n: n, b: b, mM: mWords}
+	// k subarrays of ≈ M keys each (the paper's recursion uses √n; with a
+	// single level, M-sized subarrays minimise the count-matrix passes while
+	// keeping every base case inside ephemeral memory). Rounded to a block
+	// multiple so the count matrices tile cleanly.
+	k := (n + mWords - 1) / mWords
+	ss.k = (k + b - 1) / b * b
+	ss.sub = (n + ss.k - 1) / ss.k
+	if ss.sub > mWords {
+		panic(fmt.Sprintf("sort: samplesort single-level limit exceeded: subarray %d > M %d", ss.sub, mWords))
+	}
+	ss.stride = 1
+	for 1<<ss.stride < n {
+		ss.stride++
+	}
+	total := ss.k * ss.sub
+	mat := ss.k * ss.k
+
+	ss.in = m.HeapAllocBlocks(total)
+	ss.sorted = m.HeapAllocBlocks(total)
+	_, nSamp := ss.nSamples()
+	// The samples are sorted with a nested fault-tolerant mergesort, as in
+	// the paper; the sample phase writes directly into its input array.
+	msLeaf := 1
+	for msLeaf*2 <= mWords && msLeaf < b {
+		msLeaf *= 2
+	}
+	for msLeaf*2 <= mWords && msLeaf < 256 {
+		msLeaf *= 2
+	}
+	ss.sampMS = NewMergeSort(m, fj, "samples/"+name, nSamp, msLeaf)
+	ss.sampMS.PadFrom(nSamp)
+	ss.samples = ss.sampMS.InputAddr()
+	ss.pivots = m.HeapAllocBlocks(ss.k)
+	ss.counts = m.HeapAllocBlocks(mat)
+	ss.countsT = m.HeapAllocBlocks(mat)
+	ss.offsT = m.HeapAllocBlocks(mat)
+	ss.exclT = m.HeapAllocBlocks(mat)
+	ss.dstS = m.HeapAllocBlocks(mat)
+	ss.scratch = m.HeapAllocBlocks(total)
+	ss.out = m.HeapAllocBlocks(total)
+
+	// The offset prefix sum uses M-sized leaves: capsule work O(M/B),
+	// matching the rest of the algorithm, and far fewer spawned tasks than
+	// B-sized leaves would cost.
+	psLeaf := mWords
+	if psLeaf > mat {
+		psLeaf = mat
+	}
+	ss.ps = prefixsum.BuildOn(m, fj, "samplesort/"+name, mat, psLeaf, ss.countsT, ss.offsT)
+
+	r := m.Registry
+	ss.runFid = r.Register("ssort/"+name+"/run", ss.runRoot)
+	ss.subSortFid = r.Register("ssort/"+name+"/subSort", ss.runSubSort)
+	ss.sampleFid = r.Register("ssort/"+name+"/sample", ss.runSample)
+	ss.pivotFid = r.Register("ssort/"+name+"/pivots", ss.runPivotExtract)
+	ss.countFid = r.Register("ssort/"+name+"/count", ss.runCount)
+	ss.transFid = r.Register("ssort/"+name+"/transpose", ss.runTranspose)
+	ss.shiftFid = r.Register("ssort/"+name+"/shift", ss.runShift)
+	ss.scatterFid = r.Register("ssort/"+name+"/scatter", ss.runScatter)
+	ss.bktSortFid = r.Register("ssort/"+name+"/bktSort", ss.runBucketSort)
+	return ss
+}
+
+// LoadInput writes keys (padding to k*sub) at setup time.
+func (ss *SampleSort) LoadInput(keys []uint64) {
+	if len(keys) != ss.n {
+		panic("sort: input length mismatch")
+	}
+	ss.m.Mem.Load(ss.in, keys)
+	pad := make([]uint64, ss.k*ss.sub-ss.n)
+	for i := range pad {
+		pad[i] = padKey
+	}
+	ss.m.Mem.Load(ss.in+pmem.Addr(ss.n), pad)
+}
+
+// Run executes the sort.
+func (ss *SampleSort) Run() bool { return ss.fj.Run(ss.runFid) }
+
+// Output returns the sorted keys (padding trimmed: pad keys sort last).
+func (ss *SampleSort) Output() []uint64 { return ss.m.Mem.Snapshot(ss.out, ss.n) }
+
+// RootFid exposes the root capsule for harnesses.
+func (ss *SampleSort) RootFid() capsule.FuncID { return ss.runFid }
+
+func (ss *SampleSort) nSamples() (per, total int) {
+	per = (ss.sub + ss.stride - 1) / ss.stride
+	return per, per * ss.k
+}
+
+// runRoot chains the phases back to front.
+func (ss *SampleSort) runRoot(e capsule.Env) {
+	pfor := func(cont pmem.Addr, task capsule.FuncID, hi, grain int, a0 uint64) pmem.Addr {
+		return e.NewClosure(ss.fj.ParForFid(), cont,
+			uint64(task), 0, uint64(hi), uint64(grain), a0, 0)
+	}
+	tiles := (ss.k / ss.b) * (ss.k / ss.b)
+	blocks := ss.k * ss.k / ss.b
+	// Grains chosen so matrix-phase capsules do Θ(M/B) transfers like every
+	// other phase, keeping task counts (and their scheduler overhead) low.
+	tileGrain := ss.mM / (2 * ss.b * ss.b)
+	if tileGrain < 1 {
+		tileGrain = 1
+	}
+	shiftGrain := ss.mM / (4 * ss.b)
+	if shiftGrain < 1 {
+		shiftGrain = 1
+	}
+
+	finish := e.Cont()
+	p9 := pfor(finish, ss.bktSortFid, ss.k, 1, 0)
+	p8 := pfor(p9, ss.scatterFid, ss.k, 1, 0)
+	p7 := pfor(p8, ss.transFid, tiles, tileGrain, 1) // exclT -> dstS
+	p6 := pfor(p7, ss.shiftFid, blocks, shiftGrain, 0)
+	p5 := e.NewClosure(ss.ps.RootFid(), p6)           // countsT -> offsT
+	p4 := pfor(p5, ss.transFid, tiles, tileGrain, 0) // counts -> countsT
+	pivGrain := ss.mM / (4 * ss.b)
+	if pivGrain < 1 {
+		pivGrain = 1
+	}
+	p3 := pfor(p4, ss.countFid, ss.k, 1, 0)
+	p2c := pfor(p3, ss.pivotFid, ss.k-1, pivGrain, 0)
+	p2b := e.NewClosure(ss.sampMS.RootFid(), p2c)
+	p2a := pfor(p2b, ss.sampleFid, ss.k, 1, 0)
+	p1 := pfor(p2a, ss.subSortFid, ss.k, 1, 0)
+	e.Install(p1)
+}
+
+// runSubSort: sort subarray s in one capsule (reads in, writes sorted).
+func (ss *SampleSort) runSubSort(e capsule.Env) {
+	for s := int(e.Arg(0)); s < int(e.Arg(1)); s++ {
+		lo, hi := s*ss.sub, (s+1)*ss.sub
+		keys := make([]uint64, 0, ss.sub)
+		blockio.ReadRange(e, ss.b, ss.in, lo, hi, func(_ int, v uint64) { keys = append(keys, v) })
+		gosort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		blockio.WriteRange(e, ss.b, ss.sorted, lo, hi, keys)
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runSample: gather every stride-th key of sorted subarray s.
+func (ss *SampleSort) runSample(e capsule.Env) {
+	per, _ := ss.nSamples()
+	for s := int(e.Arg(0)); s < int(e.Arg(1)); s++ {
+		ranks := make(map[int]bool, per)
+		for j := 0; j < per; j++ {
+			ranks[(j+1)*ss.sub/(per+1)] = true
+		}
+		vals := make([]uint64, 0, per)
+		blockio.ReadRange(e, ss.b, ss.sorted, s*ss.sub, (s+1)*ss.sub, func(idx int, v uint64) {
+			if ranks[idx-s*ss.sub] {
+				vals = append(vals, v)
+			}
+		})
+		for len(vals) < per {
+			vals = append(vals, padKey)
+		}
+		blockio.WriteRange(e, ss.b, ss.samples, s*per, (s+1)*per, vals)
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runPivotExtract: read pivot i from the sorted samples (rank (i+1)·total/k)
+// and write it to the pivot array — a ParallelFor task over pivot indices.
+func (ss *SampleSort) runPivotExtract(e capsule.Env) {
+	_, total := ss.nSamples()
+	out := ss.sampMS.OutputAddr()
+	for i := int(e.Arg(0)); i < int(e.Arg(1)); i++ {
+		v := blockio.ReadAt(e, ss.b, out, (i+1)*total/ss.k)
+		e.Write(ss.pivots+pmem.Addr(i), v)
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runCount: one-pass merge of sorted subarray s with the sorted pivots,
+// emitting the subarray's bucket counts as a contiguous sub-major row —
+// O((sub+k)/B) transfers, the paper's "merge with the sorted pivots".
+func (ss *SampleSort) runCount(e capsule.Env) {
+	for s := int(e.Arg(0)); s < int(e.Arg(1)); s++ {
+		piv := make([]uint64, 0, ss.k-1)
+		blockio.ReadRange(e, ss.b, ss.pivots, 0, ss.k-1, func(_ int, v uint64) { piv = append(piv, v) })
+		row := make([]uint64, ss.k)
+		bkt := 0
+		blockio.ReadRange(e, ss.b, ss.sorted, s*ss.sub, (s+1)*ss.sub, func(_ int, v uint64) {
+			for bkt < ss.k-1 && v >= piv[bkt] {
+				bkt++
+			}
+			row[bkt]++
+		})
+		blockio.WriteRange(e, ss.b, ss.counts, s*ss.k, (s+1)*ss.k, row)
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runTranspose: transpose one B×B tile of a k×k matrix. Task index encodes
+// the tile; a0 selects the (src,dst) pair: 0 counts->countsT, 1 exclT->dstS.
+func (ss *SampleSort) runTranspose(e capsule.Env) {
+	src, dst := ss.counts, ss.countsT
+	if e.Arg(2) == 1 {
+		src, dst = ss.exclT, ss.dstS
+	}
+	tilesPerRow := ss.k / ss.b
+	for ti := int(e.Arg(0)); ti < int(e.Arg(1)); ti++ {
+		tr, tc := ti/tilesPerRow, ti%tilesPerRow
+		// Read the B source rows of tile (tr,tc), write B dest rows.
+		tile := make([][]uint64, ss.b)
+		buf := make([]uint64, ss.b)
+		for i := 0; i < ss.b; i++ {
+			e.ReadBlock(src+pmem.Addr((tr*ss.b+i)*ss.k+tc*ss.b), buf)
+			tile[i] = append([]uint64(nil), buf...)
+		}
+		for j := 0; j < ss.b; j++ {
+			for i := 0; i < ss.b; i++ {
+				buf[i] = tile[i][j]
+			}
+			e.WriteBlock(dst+pmem.Addr((tc*ss.b+j)*ss.k+tr*ss.b), buf)
+		}
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runShift: exclT[i] = offsT[i-1] (0 for i=0), one block per task index.
+func (ss *SampleSort) runShift(e capsule.Env) {
+	buf := make([]uint64, ss.b)
+	out := make([]uint64, ss.b)
+	for blk := int(e.Arg(0)); blk < int(e.Arg(1)); blk++ {
+		base := blk * ss.b
+		e.ReadBlock(ss.offsT+pmem.Addr(base), buf)
+		copy(out[1:], buf[:ss.b-1])
+		if blk == 0 {
+			out[0] = 0
+		} else {
+			out[0] = blockio.ReadAt(e, ss.b, ss.offsT, base-1)
+		}
+		e.WriteBlock(ss.exclT+pmem.Addr(base), out)
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runScatter: move subarray s's bucket segments to their destinations using
+// the contiguous rows counts[s*k..] and dstS[s*k..].
+func (ss *SampleSort) runScatter(e capsule.Env) {
+	for s := int(e.Arg(0)); s < int(e.Arg(1)); s++ {
+		row := make([]uint64, 0, ss.k)
+		blockio.ReadRange(e, ss.b, ss.counts, s*ss.k, (s+1)*ss.k, func(_ int, v uint64) { row = append(row, v) })
+		dst := make([]uint64, 0, ss.k)
+		blockio.ReadRange(e, ss.b, ss.dstS, s*ss.k, (s+1)*ss.k, func(_ int, v uint64) { dst = append(dst, v) })
+		keys := make([]uint64, 0, ss.sub)
+		blockio.ReadRange(e, ss.b, ss.sorted, s*ss.sub, (s+1)*ss.sub, func(_ int, v uint64) { keys = append(keys, v) })
+		pos := 0
+		for bkt := 0; bkt < ss.k; bkt++ {
+			cnt := int(row[bkt])
+			if cnt == 0 {
+				continue
+			}
+			d := int(dst[bkt])
+			blockio.WriteRange(e, ss.b, ss.scratch, d, d+cnt, keys[pos:pos+cnt])
+			pos += cnt
+		}
+	}
+	ss.fj.TaskDone(e)
+}
+
+// runBucketSort: sort bucket bkt of scratch into out. Bucket bkt spans
+// [exclT[bkt*k], offsT[(bkt+1)*k-1]).
+func (ss *SampleSort) runBucketSort(e capsule.Env) {
+	for bkt := int(e.Arg(0)); bkt < int(e.Arg(1)); bkt++ {
+		lo := int(blockio.ReadAt(e, ss.b, ss.exclT, bkt*ss.k))
+		hi := int(blockio.ReadAt(e, ss.b, ss.offsT, (bkt+1)*ss.k-1))
+		if hi-lo > 4*ss.mM {
+			panic(fmt.Sprintf("sort: bucket %d size %d exceeds 4M (%d); resample needed", bkt, hi-lo, 4*ss.mM))
+		}
+		keys := make([]uint64, 0, hi-lo)
+		blockio.ReadRange(e, ss.b, ss.scratch, lo, hi, func(_ int, v uint64) { keys = append(keys, v) })
+		gosort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		blockio.WriteRange(e, ss.b, ss.out, lo, hi, keys)
+	}
+	ss.fj.TaskDone(e)
+}

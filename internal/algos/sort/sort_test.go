@@ -1,0 +1,202 @@
+package sort
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func env(cfg machine.Config) (*machine.Machine, *forkjoin.FJ) {
+	m := machine.New(cfg)
+	s := sched.New(m, 4096)
+	return m, forkjoin.New(m, s)
+}
+
+func keys(n int, seed uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = x.Next() % 1_000_000
+	}
+	return out
+}
+
+func checkSorted(t *testing.T, got, in []uint64) {
+	t.Helper()
+	want := Sequential(in)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeSortFaultless(t *testing.T) {
+	for _, n := range []int{1, 16, 100, 500, 1024} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			m, fj := env(machine.Config{P: 2, Check: true})
+			ms := NewMergeSort(m, fj, "t", n, 0)
+			in := keys(n, uint64(n))
+			ms.LoadInput(in)
+			if !ms.Run() {
+				t.Fatal("did not complete")
+			}
+			checkSorted(t, ms.Output(), in)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestMergeSortSoftFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			m, fj := env(machine.Config{P: 4, Seed: seed, Check: true,
+				Injector: fault.NewIID(4, 0.005, seed)})
+			ms := NewMergeSort(m, fj, "t", 300, 0)
+			in := keys(300, seed)
+			ms.LoadInput(in)
+			if !ms.Run() {
+				t.Fatal("did not complete")
+			}
+			checkSorted(t, ms.Output(), in)
+			_ = m
+		})
+	}
+}
+
+func TestMergeSortHardFaults(t *testing.T) {
+	inj := fault.NewCombined(fault.NewIID(4, 0.003, 7), map[int]int64{1: 80, 2: 200})
+	m, fj := env(machine.Config{P: 4, Seed: 7, Check: true, Injector: inj})
+	ms := NewMergeSort(m, fj, "t", 400, 0)
+	in := keys(400, 7)
+	ms.LoadInput(in)
+	if !ms.Run() {
+		t.Fatal("did not complete")
+	}
+	checkSorted(t, ms.Output(), in)
+}
+
+func TestSampleSortFaultless(t *testing.T) {
+	for _, n := range []int{1, 10, 64, 250, 1000, 4096} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			m, fj := env(machine.Config{P: 2, Check: true, EphWords: 1 << 14})
+			ss := NewSampleSort(m, fj, "t", n, 0)
+			in := keys(n, uint64(n)+1)
+			ss.LoadInput(in)
+			if !ss.Run() {
+				t.Fatal("did not complete")
+			}
+			checkSorted(t, ss.Output(), in)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestSampleSortDuplicateHeavy(t *testing.T) {
+	m, fj := env(machine.Config{P: 2, Check: true, EphWords: 1 << 14})
+	const n = 600
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = uint64(i % 7)
+	}
+	ss := NewSampleSort(m, fj, "t", n, 0)
+	ss.LoadInput(in)
+	if !ss.Run() {
+		t.Fatal("did not complete")
+	}
+	checkSorted(t, ss.Output(), in)
+}
+
+func TestSampleSortSoftFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			m, fj := env(machine.Config{P: 4, Seed: seed, Check: true, EphWords: 1 << 14,
+				Injector: fault.NewIID(4, 0.005, seed)})
+			ss := NewSampleSort(m, fj, "t", 500, 0)
+			in := keys(500, seed+50)
+			ss.LoadInput(in)
+			if !ss.Run() {
+				t.Fatal("did not complete")
+			}
+			checkSorted(t, ss.Output(), in)
+			if v := m.WARViolations(); len(v) != 0 {
+				t.Errorf("WAR violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestSampleSortHardFaults(t *testing.T) {
+	inj := fault.NewCombined(fault.NewIID(4, 0.002, 11), map[int]int64{3: 100})
+	m, fj := env(machine.Config{P: 4, Seed: 11, Check: true, EphWords: 1 << 14, Injector: inj})
+	ss := NewSampleSort(m, fj, "t", 800, 0)
+	in := keys(800, 99)
+	ss.LoadInput(in)
+	if !ss.Run() {
+		t.Fatal("did not complete")
+	}
+	checkSorted(t, ss.Output(), in)
+}
+
+// TestTheorem73SampleSortBeatsMergeSortWork: for n >> M the samplesort does
+// asymptotically less algorithm work: its W/(n/B) ratio is flat while
+// mergesort's grows with log(n/M). W here is the algorithm's own transfers
+// (stats.UserWork) — the quantity the Section 7 theorems bound; scheduler
+// protocol transfers are the separately-accounted Section 6 overhead.
+// The parameters respect the paper's regime M > B² and n ≤ M²/B (so that
+// scatter segments span whole blocks).
+func TestTheorem73SampleSortBeatsMergeSortWork(t *testing.T) {
+	const mWords = 1024
+	ratio := func(n int, sample bool) float64 {
+		m, fj := env(machine.Config{P: 1, EphWords: 1 << 14})
+		var run func() bool
+		if sample {
+			ss := NewSampleSort(m, fj, "t", n, mWords)
+			ss.LoadInput(keys(n, 5))
+			run = ss.Run
+		} else {
+			ms := NewMergeSort(m, fj, "t", n, mWords)
+			ms.LoadInput(keys(n, 5))
+			run = ms.Run
+		}
+		if !run() {
+			t.Fatal("did not complete")
+		}
+		return float64(m.Stats.Summarize().UserWork) / (float64(n) / float64(m.BlockWords()))
+	}
+	n := 1 << 16
+	msr := ratio(n, false)
+	ssr := ratio(n, true)
+	t.Logf("n=%d M=%d: mergesort W/(n/B)=%.1f samplesort=%.1f", n, mWords, msr, ssr)
+	if ssr >= msr {
+		t.Errorf("samplesort ratio %.1f not below mergesort %.1f", ssr, msr)
+	}
+}
+
+// TestMaxCapsuleWorkBounded: samplesort's C = O(M/B), independent of n.
+func TestMaxCapsuleWorkBounded(t *testing.T) {
+	capsWork := func(n int) int64 {
+		m, fj := env(machine.Config{P: 1, EphWords: 1 << 14})
+		ss := NewSampleSort(m, fj, "t", n, 0)
+		ss.LoadInput(keys(n, 9))
+		ss.Run()
+		return m.Stats.Summarize().MaxCapsWork
+	}
+	c1 := capsWork(1 << 10)
+	c2 := capsWork(1 << 12)
+	if c2 > 3*c1 {
+		t.Errorf("max capsule work grew too fast with n: %d -> %d", c1, c2)
+	}
+}

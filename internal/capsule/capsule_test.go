@@ -1,0 +1,94 @@
+package capsule
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(fid uint32, n uint8) bool {
+		nw := HdrWords + int(n)%(MaxArgs+1)
+		h := PackHeader(FuncID(fid), nw)
+		gf, gn := UnpackHeader(h)
+		return gf == FuncID(fid) && gn == nw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackHeaderBounds(t *testing.T) {
+	for _, n := range []int{HdrWords - 1, MaxWords + 1, 0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PackHeader with %d words did not panic", n)
+				}
+			}()
+			PackHeader(1, n)
+		}()
+	}
+}
+
+func TestRegistryAssignsDenseIDs(t *testing.T) {
+	r := NewRegistry()
+	a := r.Register("a", func(Env) {})
+	b := r.Register("b", func(Env) {})
+	if a != 1 || b != 2 {
+		t.Errorf("ids = %d,%d, want 1,2", a, b)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryLookupAndName(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	id := r.Register("probe", func(Env) { called = true })
+	fn := r.Lookup(id)
+	if fn == nil {
+		t.Fatal("Lookup returned nil")
+	}
+	fn(nil)
+	if !called {
+		t.Error("wrong function returned")
+	}
+	if r.Name(id) != "probe" {
+		t.Errorf("Name = %q", r.Name(id))
+	}
+}
+
+func TestRegistryInvalidID(t *testing.T) {
+	r := NewRegistry()
+	if r.Lookup(0) != nil {
+		t.Error("ID 0 should be invalid")
+	}
+	if r.Lookup(99) != nil {
+		t.Error("unknown ID should return nil")
+	}
+	if r.Name(99) == "" {
+		t.Error("Name of unknown ID should be descriptive")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("x", func(Env) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register("x", func(Env) {})
+}
+
+func TestRegistryNilFuncPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil function did not panic")
+		}
+	}()
+	r.Register("nil", nil)
+}

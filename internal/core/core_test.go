@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/capsule"
+	"repro/internal/pmem"
+)
+
+func TestQuickstartShape(t *testing.T) {
+	rt := New(Config{P: 2, Seed: 1, Check: true})
+	out := rt.Machine.HeapAllocBlocks(1)
+	leaf := rt.Machine.Registry.Register("answer", func(e capsule.Env) {
+		e.Write(out, 42)
+		rt.FJ.TaskDone(e)
+	})
+	if !rt.Run(leaf) {
+		t.Fatal("did not complete")
+	}
+	if got := rt.Machine.Mem.Read(out); got != 42 {
+		t.Errorf("out = %d, want 42", got)
+	}
+	if rt.Stats().Work == 0 {
+		t.Error("no work recorded")
+	}
+}
+
+func TestFaultRateConfig(t *testing.T) {
+	rt := New(Config{P: 1, FaultRate: 0.1, Seed: 3})
+	out := rt.Machine.HeapAllocBlocks(8)
+	var fid capsule.FuncID
+	fid = rt.Machine.Registry.Register("loop", func(e capsule.Env) {
+		i := e.Arg(0)
+		if i == 20 {
+			rt.FJ.TaskDone(e)
+			return
+		}
+		e.Write(out+pmem.Addr(i%8), i) // touch memory so faults can strike
+		e.InstallSelf(i + 1)
+	})
+	if !rt.Run(fid, 0) {
+		t.Fatal("did not complete")
+	}
+	if rt.Stats().SoftFaults == 0 {
+		t.Error("expected soft faults at f=0.1")
+	}
+}
+
+func TestDieAtConfig(t *testing.T) {
+	rt := New(Config{P: 2, DieAt: map[int]int64{1: 5}, Seed: 7})
+	out := rt.Machine.HeapAllocBlocks(1)
+	fid := rt.Machine.Registry.Register("w", func(e capsule.Env) {
+		e.Write(out, 7)
+		rt.FJ.TaskDone(e)
+	})
+	if !rt.Run(fid) {
+		t.Fatal("did not complete")
+	}
+	if rt.Stats().Dead != 1 {
+		t.Errorf("dead = %d, want 1", rt.Stats().Dead)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	rt := New(Config{})
+	if rt.Machine.P() != 1 {
+		t.Errorf("default P = %d", rt.Machine.P())
+	}
+	if rt.Machine.BlockWords() != 8 {
+		t.Errorf("default B = %d", rt.Machine.BlockWords())
+	}
+}

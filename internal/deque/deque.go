@@ -1,0 +1,228 @@
+// Package deque defines the fault-tolerant work-stealing deque of Figure 3:
+// its persistent-memory layout, the tagged-entry encoding, and validation
+// helpers.
+//
+// Each processor owns one WS-Deque: a top pointer, a bottom pointer, and an
+// array of tagged entries. An entry is one of
+//
+//	empty  — not yet associated with a thread,
+//	local  — the thread the owner is currently running (stealable only
+//	         when the owner has hard-faulted),
+//	job    — an enabled thread, holding its closure address,
+//	taken  — stolen or mid-steal, holding a pointer to a two-word steal
+//	         record {thief entry address, thief entry tag}.
+//
+// Entries pack into a single word — tag | state | payload — so every
+// transition is one CAM. Tags defeat ABA when entries are reused. Each entry
+// (and each of top and bottom) occupies its own persistent-memory block:
+// write-after-read conflicts are block-granular in the PM model, and the
+// scheduler's capsules rely on the pointers and neighbouring entries being
+// independently writable.
+//
+// The deque operations themselves (popTop, popBottom, pushBottom,
+// helpPopTop) are capsule chains implemented in package sched, because in
+// the Parallel-PM every CAM must sit in its own capsule. This package owns
+// everything that is pure data layout.
+package deque
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// State is an entry's state.
+type State uint64
+
+// Entry states, in the encoding's two state bits.
+const (
+	Empty State = 0
+	Local State = 1
+	Job   State = 2
+	Taken State = 3
+)
+
+func (s State) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Local:
+		return "local"
+	case Job:
+		return "job"
+	case Taken:
+		return "taken"
+	}
+	return "?"
+}
+
+// Entry word layout: tag(22) | state(2) | payload(40).
+const (
+	payloadBits = 40
+	stateBits   = 2
+	payloadMask = (1 << payloadBits) - 1
+	stateShift  = payloadBits
+	tagShift    = payloadBits + stateBits
+	tagMask     = (1 << (64 - tagShift)) - 1
+)
+
+// Pack builds an entry word.
+func Pack(tag uint64, st State, payload uint64) uint64 {
+	if payload > payloadMask {
+		panic("deque: payload overflows entry encoding")
+	}
+	return (tag&tagMask)<<tagShift | uint64(st)<<stateShift | payload
+}
+
+// Unpack splits an entry word.
+func Unpack(w uint64) (tag uint64, st State, payload uint64) {
+	return w >> tagShift, State(w >> stateShift & 0x3), w & payloadMask
+}
+
+// Tag returns just the tag of an entry word — the paper's getStep.
+func Tag(w uint64) uint64 { return w >> tagShift }
+
+// StateOf returns just the state of an entry word.
+func StateOf(w uint64) State { return State(w >> stateShift & 0x3) }
+
+// Payload returns just the payload of an entry word.
+func Payload(w uint64) uint64 { return w & payloadMask }
+
+// Bump returns the entry with tag+1, new state and payload — the value a CAM
+// installs.
+func Bump(w uint64, st State, payload uint64) uint64 {
+	return Pack(Tag(w)+1, st, payload)
+}
+
+// Layout describes where the P deques live in persistent memory. Words are
+// spread one per block (see package comment).
+type Layout struct {
+	P       int
+	Entries int // entries per deque (the paper's S)
+	B       int // block words
+	base    []pmem.Addr
+}
+
+// NewLayout allocates P deques of n entries each from m's shared heap.
+func NewLayout(m *machine.Machine, n int) *Layout {
+	l := &Layout{P: m.P(), Entries: n, B: m.BlockWords()}
+	l.base = make([]pmem.Addr, l.P)
+	wordsPer := (2 + n) * l.B // top, bot, entries — one block each
+	for p := 0; p < l.P; p++ {
+		l.base[p] = m.HeapAllocBlocks(wordsPer)
+	}
+	return l
+}
+
+// TopAddr returns the address of deque p's top pointer.
+func (l *Layout) TopAddr(p int) pmem.Addr { return l.base[p] }
+
+// BotAddr returns the address of deque p's bottom pointer.
+func (l *Layout) BotAddr(p int) pmem.Addr { return l.base[p] + pmem.Addr(l.B) }
+
+// EntryAddr returns the address of entry i of deque p.
+func (l *Layout) EntryAddr(p, i int) pmem.Addr {
+	if i < 0 || i >= l.Entries {
+		panic(fmt.Sprintf("deque: entry index %d out of range (S=%d)", i, l.Entries))
+	}
+	return l.base[p] + pmem.Addr((2+i)*l.B)
+}
+
+// OwnerOfEntry resolves which deque an entry address belongs to and its
+// index, used by validators.
+func (l *Layout) OwnerOfEntry(a pmem.Addr) (p, i int, ok bool) {
+	for q := 0; q < l.P; q++ {
+		off := a - l.base[q]
+		if off < 0 || off >= pmem.Addr((2+l.Entries)*l.B) {
+			continue
+		}
+		slot := int(off) / l.B
+		if int(off)%l.B != 0 || slot < 2 {
+			return 0, 0, false
+		}
+		return q, slot - 2, true
+	}
+	return 0, 0, false
+}
+
+// Snapshot is a point-in-time copy of one deque, for tests and debugging.
+type Snapshot struct {
+	Top, Bot int
+	Entries  []uint64
+}
+
+// Read captures deque p's state directly from memory (harness-level; not a
+// modeled machine operation).
+func (l *Layout) Read(m *pmem.Mem, p int) Snapshot {
+	s := Snapshot{
+		Top: int(m.Read(l.TopAddr(p))),
+		Bot: int(m.Read(l.BotAddr(p))),
+	}
+	s.Entries = make([]uint64, l.Entries)
+	for i := range s.Entries {
+		s.Entries[i] = m.Read(l.EntryAddr(p, i))
+	}
+	return s
+}
+
+// CheckShape verifies the paper's structural invariant (§6.2) on a quiescent
+// deque: takens, then jobs, then zero/one/two locals, then empties.
+func (s Snapshot) CheckShape() error {
+	phase := 0 // 0 takens, 1 jobs, 2 locals, 3 empties
+	locals := 0
+	for i, w := range s.Entries {
+		st := StateOf(w)
+		switch st {
+		case Taken:
+			if phase > 0 {
+				return fmt.Errorf("taken entry at %d after phase %d", i, phase)
+			}
+		case Job:
+			if phase > 1 {
+				return fmt.Errorf("job entry at %d after phase %d", i, phase)
+			}
+			phase = 1
+		case Local:
+			if phase > 2 {
+				return fmt.Errorf("local entry at %d after phase %d", i, phase)
+			}
+			phase = 2
+			locals++
+		case Empty:
+			phase = 3
+		}
+	}
+	if locals > 2 {
+		return fmt.Errorf("%d local entries (max 2)", locals)
+	}
+	return nil
+}
+
+// ValidTransition reports whether an observed entry rewrite follows Figure 4
+// (plus the one documented exception: a replayed clearBottom may overwrite a
+// taken entry with an empty one after a hard-fault takeover, Lemma A.12).
+func ValidTransition(old, new uint64) bool {
+	if old == new {
+		return true
+	}
+	os, ns := StateOf(old), StateOf(new)
+	if Tag(new) <= Tag(old) && !(os == ns && Payload(old) == Payload(new)) {
+		// Tags must move forward on any real transition.
+		return false
+	}
+	switch os {
+	case Empty:
+		return ns == Local || ns == Empty
+	case Local:
+		return true // local -> empty | job | taken all legal
+	case Job:
+		return ns == Local || ns == Taken
+	case Taken:
+		return ns == Empty // the Lemma A.12 replayed-clear exception
+	}
+	return false
+}
+
+// RecordWords is the size of a steal record: {thief entry address, tag}.
+const RecordWords = 2

@@ -1,0 +1,165 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(tag uint32, st uint8, payload uint32) bool {
+		tg := uint64(tag) & tagMask
+		s := State(st % 4)
+		pl := uint64(payload)
+		w := Pack(tg, s, pl)
+		gt, gs, gp := Unpack(w)
+		return gt == tg && gs == s && gp == pl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackPayloadOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pack(0, Job, 1<<payloadBits)
+}
+
+func TestBumpIncrementsTag(t *testing.T) {
+	w := Pack(7, Local, 0)
+	b := Bump(w, Job, 99)
+	if Tag(b) != 8 || StateOf(b) != Job || Payload(b) != 99 {
+		t.Errorf("bump = tag %d state %v payload %d", Tag(b), StateOf(b), Payload(b))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := Pack(3, Taken, 1234)
+	if Tag(w) != 3 || StateOf(w) != Taken || Payload(w) != 1234 {
+		t.Error("accessor mismatch")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Empty: "empty", Local: "local", Job: "job", Taken: "taken"} {
+		if st.String() != want {
+			t.Errorf("%v.String() = %q", st, st.String())
+		}
+	}
+}
+
+func TestLayoutAddressesDisjointBlocks(t *testing.T) {
+	m := machine.New(machine.Config{P: 3, BlockWords: 8})
+	l := NewLayout(m, 16)
+	seen := map[int]bool{}
+	mark := func(a int64) {
+		blk := int(a) / 8
+		if seen[blk] {
+			t.Fatalf("block %d reused", blk)
+		}
+		seen[blk] = true
+	}
+	for p := 0; p < 3; p++ {
+		mark(int64(l.TopAddr(p)))
+		mark(int64(l.BotAddr(p)))
+		for i := 0; i < 16; i++ {
+			mark(int64(l.EntryAddr(p, i)))
+		}
+	}
+}
+
+func TestOwnerOfEntry(t *testing.T) {
+	m := machine.New(machine.Config{P: 2, BlockWords: 8})
+	l := NewLayout(m, 8)
+	a := l.EntryAddr(1, 5)
+	p, i, ok := l.OwnerOfEntry(a)
+	if !ok || p != 1 || i != 5 {
+		t.Errorf("OwnerOfEntry = %d,%d,%v", p, i, ok)
+	}
+	if _, _, ok := l.OwnerOfEntry(a + 1); ok {
+		t.Error("misaligned address resolved")
+	}
+	if _, _, ok := l.OwnerOfEntry(l.TopAddr(0)); ok {
+		t.Error("top pointer resolved as entry")
+	}
+}
+
+func TestEntryIndexBounds(t *testing.T) {
+	m := machine.New(machine.Config{P: 1, BlockWords: 8})
+	l := NewLayout(m, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.EntryAddr(0, 4)
+}
+
+func TestCheckShapeAcceptsCanonical(t *testing.T) {
+	s := Snapshot{Entries: []uint64{
+		Pack(1, Taken, 0), Pack(1, Taken, 0),
+		Pack(1, Job, 10), Pack(2, Job, 11),
+		Pack(1, Local, 0),
+		Pack(0, Empty, 0), Pack(0, Empty, 0),
+	}}
+	if err := s.CheckShape(); err != nil {
+		t.Errorf("canonical shape rejected: %v", err)
+	}
+}
+
+func TestCheckShapeAcceptsTwoLocals(t *testing.T) {
+	s := Snapshot{Entries: []uint64{
+		Pack(1, Local, 0), Pack(1, Local, 0), Pack(0, Empty, 0),
+	}}
+	if err := s.CheckShape(); err != nil {
+		t.Errorf("two locals (mid-pushBottom) rejected: %v", err)
+	}
+}
+
+func TestCheckShapeRejectsDisorder(t *testing.T) {
+	bad := []Snapshot{
+		{Entries: []uint64{Pack(1, Job, 1), Pack(1, Taken, 0)}},
+		{Entries: []uint64{Pack(1, Local, 0), Pack(1, Job, 1)}},
+		{Entries: []uint64{Pack(0, Empty, 0), Pack(1, Job, 1)}},
+		{Entries: []uint64{Pack(1, Local, 0), Pack(1, Local, 0), Pack(1, Local, 0)}},
+	}
+	for i, s := range bad {
+		if err := s.CheckShape(); err == nil {
+			t.Errorf("bad shape %d accepted", i)
+		}
+	}
+}
+
+func TestValidTransitionTable(t *testing.T) {
+	e := func(tag uint64, st State) uint64 { return Pack(tag, st, 0) }
+	cases := []struct {
+		old, new uint64
+		want     bool
+	}{
+		{e(1, Empty), e(2, Local), true},
+		{e(1, Empty), e(2, Job), false},
+		{e(1, Empty), e(2, Taken), false},
+		{e(1, Local), e(2, Empty), true},
+		{e(1, Local), e(2, Job), true},
+		{e(1, Local), e(2, Taken), true},
+		{e(1, Job), e(2, Local), true},
+		{e(1, Job), e(2, Taken), true},
+		{e(1, Job), e(2, Empty), false},
+		{e(1, Taken), e(2, Empty), true}, // Lemma A.12 replayed clearBottom
+		{e(1, Taken), e(2, Job), false},
+		{e(1, Taken), e(2, Local), false},
+		{e(1, Job), e(1, Local), false}, // tag must advance
+		{e(1, Job), e(1, Job), true},    // no-op
+	}
+	for _, c := range cases {
+		if got := ValidTransition(c.old, c.new); got != c.want {
+			t.Errorf("ValidTransition(%v->%v tag %d->%d) = %v, want %v",
+				StateOf(c.old), StateOf(c.new), Tag(c.old), Tag(c.new), got, c.want)
+		}
+	}
+}

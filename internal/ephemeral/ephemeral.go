@@ -1,0 +1,119 @@
+// Package ephemeral models a processor's fast local memory in the PM model:
+// a word-addressable scratchpad of M words that is lost whenever the
+// processor faults.
+//
+// Capsule code must be well-formed — its first access to each ephemeral word
+// must be a write — or it could observe garbage left over from before a
+// fault. The paper makes this a correctness precondition (Section 3); this
+// implementation can optionally enforce it, poisoning all words on Clear and
+// flagging reads of uninitialized words.
+package ephemeral
+
+import "fmt"
+
+// Poison is the value stored in every word by Clear when checking is
+// enabled. It makes "read before write after a fault" failures loud and
+// reproducible instead of silently reading zeros.
+const Poison uint64 = 0xDEADDEADDEADDEAD
+
+// Mem is one processor's ephemeral memory.
+type Mem struct {
+	words  []uint64
+	inited []bool // meaningful only when check is true
+	check  bool
+	// Violations counts reads of words that were never written since the
+	// last Clear. Only tracked when checking is enabled.
+	Violations int
+}
+
+// New creates an ephemeral memory of size words. If check is true, reads of
+// uninitialized words are counted as well-formedness violations and return
+// Poison.
+func New(size int, check bool) *Mem {
+	if size <= 0 {
+		panic("ephemeral: non-positive size")
+	}
+	m := &Mem{words: make([]uint64, size), check: check}
+	if check {
+		m.inited = make([]bool, size)
+		for i := range m.words {
+			m.words[i] = Poison
+		}
+	}
+	return m
+}
+
+// Size returns M, the capacity in words.
+func (m *Mem) Size() int { return len(m.words) }
+
+// Checking reports whether well-formedness checking is enabled.
+func (m *Mem) Checking() bool { return m.check }
+
+func (m *Mem) bounds(a int) {
+	if a < 0 || a >= len(m.words) {
+		panic(fmt.Sprintf("ephemeral: address %d out of range (size %d)", a, len(m.words)))
+	}
+}
+
+// Read returns the word at a. With checking enabled, reading a word that has
+// not been written since the last Clear records a violation.
+func (m *Mem) Read(a int) uint64 {
+	m.bounds(a)
+	if m.check && !m.inited[a] {
+		m.Violations++
+	}
+	return m.words[a]
+}
+
+// Write stores v at a.
+func (m *Mem) Write(a int, v uint64) {
+	m.bounds(a)
+	if m.check {
+		m.inited[a] = true
+	}
+	m.words[a] = v
+}
+
+// Clear wipes the memory, modeling the loss of volatile state on a fault.
+// With checking enabled every word is poisoned and marked uninitialized.
+func (m *Mem) Clear() {
+	if m.check {
+		for i := range m.words {
+			m.words[i] = Poison
+			m.inited[i] = false
+		}
+		return
+	}
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}
+
+// ResetMarks marks every word uninitialized without destroying contents.
+// The machine calls it at capsule boundaries: well-formedness (write before
+// read) is a per-capsule property, but in a faultless step the physical
+// contents survive. No-op when checking is disabled.
+func (m *Mem) ResetMarks() {
+	if !m.check {
+		return
+	}
+	for i := range m.inited {
+		m.inited[i] = false
+	}
+}
+
+// CopyIn writes vals starting at dst, as a sequence of Write calls.
+func (m *Mem) CopyIn(dst int, vals []uint64) {
+	for i, v := range vals {
+		m.Write(dst+i, v)
+	}
+}
+
+// CopyOut reads n words starting at src.
+func (m *Mem) CopyOut(src, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.Read(src + i)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package ephemeral
+
+import "testing"
+
+func TestRoundTrip(t *testing.T) {
+	m := New(16, false)
+	m.Write(3, 99)
+	if m.Read(3) != 99 {
+		t.Errorf("Read(3) = %d", m.Read(3))
+	}
+}
+
+func TestClearWipes(t *testing.T) {
+	m := New(8, false)
+	m.Write(1, 5)
+	m.Clear()
+	if m.Read(1) != 0 {
+		t.Error("value survived Clear without checking")
+	}
+}
+
+func TestCheckingPoisonsOnClear(t *testing.T) {
+	m := New(8, true)
+	m.Write(1, 5)
+	m.Clear()
+	if got := m.Read(1); got != Poison {
+		t.Errorf("after Clear read = %#x, want poison", got)
+	}
+	if m.Violations != 1 {
+		t.Errorf("Violations = %d, want 1", m.Violations)
+	}
+}
+
+func TestCheckingFlagsReadBeforeWrite(t *testing.T) {
+	m := New(8, true)
+	_ = m.Read(0)
+	if m.Violations != 1 {
+		t.Errorf("Violations = %d, want 1", m.Violations)
+	}
+	m.Write(0, 7)
+	_ = m.Read(0)
+	if m.Violations != 1 {
+		t.Errorf("Violations after write = %d, want 1", m.Violations)
+	}
+}
+
+func TestWellFormedCapsulePattern(t *testing.T) {
+	// A well-formed capsule writes every word before reading it; it must
+	// produce zero violations even across Clear (fault) boundaries.
+	m := New(4, true)
+	run := func() {
+		m.Write(0, 1)
+		m.Write(1, 2)
+		_ = m.Read(0)
+		_ = m.Read(1)
+	}
+	run()
+	m.Clear() // fault
+	run()     // restart
+	if m.Violations != 0 {
+		t.Errorf("well-formed capsule produced %d violations", m.Violations)
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	m := New(4, false)
+	for _, a := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for address %d", a)
+				}
+			}()
+			m.Read(a)
+		}()
+	}
+}
+
+func TestCopyInOut(t *testing.T) {
+	m := New(16, true)
+	vals := []uint64{4, 5, 6}
+	m.CopyIn(2, vals)
+	got := m.CopyOut(2, 3)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("CopyOut[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+	if m.Violations != 0 {
+		t.Errorf("violations = %d", m.Violations)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, false)
+}

@@ -1,0 +1,157 @@
+// Package forkjoin provides binary fork-join parallelism on top of the
+// fault-tolerant work-stealing scheduler, following §4 and §6.1 of the
+// paper.
+//
+// A thread is a chain of capsules. Each task closure's continuation slot
+// points at a join-end closure; a task finishes by installing its
+// continuation. Join-end runs the paper's CAM-based last-arriver protocol:
+//
+//	jn1: CAM(cell, 0, myTag)          — one CAM, its own capsule
+//	jn2: read cell;
+//	     cell == myTag -> we arrived first: the thread ends, find new work
+//	     cell != myTag -> we arrived last: continue with the join
+//	                      continuation (adopted into our chain)
+//
+// The CAM's success is never read directly — the later capsule's read of the
+// cell decides, which is exactly the fault-safe test-and-set idiom of §5.
+package forkjoin
+
+import (
+	"repro/internal/capsule"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+	"repro/internal/sched"
+)
+
+// FJ wires fork-join onto a scheduler.
+type FJ struct {
+	m *machine.Machine
+	s *sched.Scheduler
+
+	jn1    capsule.FuncID
+	jn2    capsule.FuncID
+	finish capsule.FuncID
+	noop   capsule.FuncID
+	pfor   capsule.FuncID
+}
+
+// New registers the join capsules on m. Call once per machine.
+func New(m *machine.Machine, s *sched.Scheduler) *FJ {
+	fj := &FJ{m: m, s: s}
+	fj.jn1 = m.Registry.Register("forkjoin/joinCAM", fj.runJoinCAM)
+	fj.jn2 = m.Registry.Register("forkjoin/joinCheck", fj.runJoinCheck)
+	fj.finish = m.Registry.Register("forkjoin/finish", func(e capsule.Env) {
+		fj.s.Finish(e)
+	})
+	fj.noop = m.Registry.Register("forkjoin/noop", func(e capsule.Env) {
+		fj.TaskDone(e)
+	})
+	fj.pfor = m.Registry.Register("forkjoin/parfor", fj.runParFor)
+	return fj
+}
+
+// Scheduler returns the underlying scheduler.
+func (fj *FJ) Scheduler() *sched.Scheduler { return fj.s }
+
+// Fork2 forks two subtasks and arranges for joinCont to run after both
+// complete. left and right are (fid, args) pairs; the left child is pushed
+// onto the deque as a stealable job, the right child continues in the
+// current thread (the standard work-first convention). joinCont's own
+// continuation should be e.Cont() so completion propagates to the parent
+// join. Must be the capsule's final action.
+func (fj *FJ) Fork2(e capsule.Env, leftFid capsule.FuncID, leftArgs []uint64,
+	rightFid capsule.FuncID, rightArgs []uint64, joinCont pmem.Addr) {
+
+	cell := e.Alloc(1) // fresh pool memory is never-written, hence zero
+	jeL := e.NewClosure(fj.jn1, joinCont, uint64(cell), 1)
+	jeR := e.NewClosure(fj.jn1, joinCont, uint64(cell), 2)
+	left := e.NewClosure(leftFid, jeL, leftArgs...)
+	right := e.NewClosure(rightFid, jeR, rightArgs...)
+	fj.s.Fork(e, left, right)
+}
+
+// TaskDone finishes the current task, handing control to its continuation
+// (usually a join-end). Must be the capsule's final action.
+func (fj *FJ) TaskDone(e capsule.Env) {
+	e.Install(e.Cont())
+}
+
+// FinishClosure builds the root continuation that marks the computation
+// complete; pass it as the root task's continuation.
+func (fj *FJ) FinishClosure(pool int) pmem.Addr {
+	return fj.m.BuildClosure(pool, fj.finish, pmem.Nil)
+}
+
+// Run builds the root task in proc 0's pool, starts the scheduler on all
+// processors, and runs the machine until the computation completes or every
+// processor dies. Returns true if the computation signalled completion.
+func (fj *FJ) Run(rootFid capsule.FuncID, rootArgs ...uint64) bool {
+	root := fj.m.BuildClosure(0, rootFid, fj.FinishClosure(0), rootArgs...)
+	fj.s.StartRoot(root)
+	fj.m.Run()
+	return fj.s.IsDone()
+}
+
+// NoopClosure builds a pass-through join continuation whose own continuation
+// is cont — for forks that need no combine step.
+func (fj *FJ) NoopClosure(e capsule.Env, cont pmem.Addr) pmem.Addr {
+	return e.NewClosure(fj.noop, cont)
+}
+
+// ParallelFor runs task(i, a0, a1) for every i in [lo, hi) as a balanced
+// fork-join tree with grain indices per leaf, then continues with cont.
+// task must be a registered capsule taking args [lo, hi, a0, a1] and ending
+// with TaskDone; leaves receive sub-ranges of at most grain indices. Must be
+// the calling capsule's final action.
+func (fj *FJ) ParallelFor(e capsule.Env, task capsule.FuncID, lo, hi, grain int,
+	a0, a1 uint64, cont pmem.Addr) {
+	e.Install(e.NewClosure(fj.pfor, cont,
+		uint64(task), uint64(lo), uint64(hi), uint64(grain), a0, a1))
+}
+
+// ParForFid exposes the parallel-for capsule so algorithms can build phase
+// chains manually (closure args: [task, lo, hi, grain, a0, a1]).
+func (fj *FJ) ParForFid() capsule.FuncID { return fj.pfor }
+
+// runParFor: args [task, lo, hi, grain, a0, a1].
+func (fj *FJ) runParFor(e capsule.Env) {
+	task := capsule.FuncID(e.Arg(0))
+	lo, hi, grain := int(e.Arg(1)), int(e.Arg(2)), int(e.Arg(3))
+	a0, a1 := e.Arg(4), e.Arg(5)
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		e.Install(e.NewClosure(task, e.Cont(), uint64(lo), uint64(hi), a0, a1))
+		return
+	}
+	mid := (lo + hi) / 2
+	fj.Fork2(e,
+		fj.pfor, []uint64{uint64(task), uint64(lo), uint64(mid), uint64(grain), a0, a1},
+		fj.pfor, []uint64{uint64(task), uint64(mid), uint64(hi), uint64(grain), a0, a1},
+		fj.NoopClosure(e, e.Cont()))
+}
+
+// runJoinCAM: CAM the join cell from unset to our tag. Args: [cell, tag];
+// continuation: the join continuation closure.
+func (fj *FJ) runJoinCAM(e capsule.Env) {
+	cell, tag := pmem.Addr(e.Arg(0)), e.Arg(1)
+	e.CAM(cell, 0, tag)
+	e.Install(e.NewClosure(fj.jn2, e.Cont(), uint64(cell), tag))
+}
+
+// runJoinCheck: read the cell to learn who arrived last. Args: [cell, tag];
+// continuation: the join continuation closure.
+func (fj *FJ) runJoinCheck(e capsule.Env) {
+	cell, tag := pmem.Addr(e.Arg(0)), e.Arg(1)
+	v := e.Read(cell)
+	if v == tag {
+		// We arrived first; the sibling (or its thief) will run the join
+		// continuation. This thread is over.
+		fj.s.ThreadEnd(e)
+		return
+	}
+	// We arrived last: continue the parent computation. Adopt re-homes the
+	// continuation closure into our allocation chain.
+	e.Adopt(e.Cont())
+}

@@ -1,0 +1,291 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/capsule"
+	"repro/internal/pmem"
+)
+
+// This file implements capsule.Env on *Proc. Every persistent access calls
+// faultPoint first (faults strike between instructions), then performs the
+// access, charges cost, and feeds the WAR-conflict tracker.
+
+func (p *Proc) checkNotInstalled() {
+	if p.installed {
+		panic(fmt.Sprintf("machine: proc %d: persistent access after Install in capsule %s",
+			p.id, p.m.Registry.Name(p.fid)))
+	}
+}
+
+// Read implements capsule.Env.
+func (p *Proc) Read(a pmem.Addr) uint64 {
+	p.checkNotInstalled()
+	p.faultPoint()
+	v := p.m.Mem.Read(a)
+	p.ctr.ExtReads.Add(1)
+	p.capsWork++
+	p.war.OnRead(p.m.Mem.BlockOf(a))
+	return v
+}
+
+// Write implements capsule.Env.
+func (p *Proc) Write(a pmem.Addr, v uint64) {
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.Write(a, v)
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	if p.war.OnWrite(p.m.Mem.BlockOf(a)) {
+		p.m.recordWAR(p.id, p.m.Registry.Name(p.fid), p.war.Violations()[len(p.war.Violations())-1])
+	}
+}
+
+// ReadBlock implements capsule.Env.
+func (p *Proc) ReadBlock(a pmem.Addr, dst []uint64) pmem.Addr {
+	p.checkNotInstalled()
+	p.faultPoint()
+	base := p.m.Mem.ReadBlock(a, dst)
+	p.ctr.ExtReads.Add(1)
+	p.capsWork++
+	p.war.OnRead(p.m.Mem.BlockOf(a))
+	return base
+}
+
+// WriteBlock implements capsule.Env.
+func (p *Proc) WriteBlock(a pmem.Addr, src []uint64) pmem.Addr {
+	p.checkNotInstalled()
+	p.faultPoint()
+	base := p.m.Mem.WriteBlock(a, src)
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	if p.war.OnWrite(p.m.Mem.BlockOf(a)) {
+		p.m.recordWAR(p.id, p.m.Registry.Name(p.fid), p.war.Violations()[len(p.war.Violations())-1])
+	}
+	return base
+}
+
+// CAM implements capsule.Env: compare-and-modify, the result-blind CAS that
+// remains safe under faults (Section 5). The swap outcome is deliberately
+// not returned.
+func (p *Proc) CAM(a pmem.Addr, old, new uint64) {
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.CAS(a, old, new)
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	// CAMs are deliberately NOT fed to the WAR tracker: the tracker checks
+	// the *sufficient* condition of Theorem 3.1/5.1, while CAM capsules are
+	// idempotent by the separate non-reverting-CAM argument (Theorem 5.2)
+	// even when the capsule read the target earlier — Figure 3's pushBottom
+	// and popBottom do exactly that, by design (Lemma A.6).
+}
+
+// CAS implements capsule.Env. It is NOT fault-safe: the returned success bit
+// lives in a register and is lost on a fault (Section 5). It exists so the
+// ablation experiments can demonstrate the failure mode. Production capsule
+// code must use CAM.
+func (p *Proc) CAS(a pmem.Addr, old, new uint64) bool {
+	p.checkNotInstalled()
+	p.faultPoint()
+	ok := p.m.Mem.CAS(a, old, new)
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	if p.war.OnWrite(p.m.Mem.BlockOf(a)) {
+		p.m.recordWAR(p.id, p.m.Registry.Name(p.fid), p.war.Violations()[len(p.war.Violations())-1])
+	}
+	return ok
+}
+
+// Base implements capsule.Env.
+func (p *Proc) Base() pmem.Addr { return p.base }
+
+// Arg implements capsule.Env.
+func (p *Proc) Arg(i int) uint64 {
+	if i < 0 || i >= p.nargs {
+		panic(fmt.Sprintf("machine: proc %d: capsule %s reads arg %d of %d",
+			p.id, p.m.Registry.Name(p.fid), i, p.nargs))
+	}
+	return p.args[i]
+}
+
+// NArgs implements capsule.Env.
+func (p *Proc) NArgs() int { return p.nargs }
+
+// Cont implements capsule.Env.
+func (p *Proc) Cont() pmem.Addr { return p.cont }
+
+// Alloc implements capsule.Env: a deterministic bump allocator. Replaying
+// the capsule reproduces the same addresses because the base comes from the
+// closure, so allocations are write-after-read conflict free by construction
+// (§4.1). Allocation itself is free; writing the memory costs normally.
+func (p *Proc) Alloc(n int) pmem.Addr {
+	if n <= 0 {
+		panic("machine: Alloc of non-positive size")
+	}
+	a := p.allocPtr
+	p.allocPtr += pmem.Addr(n)
+	// The chain may legitimately be allocating from another (dead)
+	// processor's pool after a takeover; bounds-check whichever pool owns
+	// the pointer.
+	for q := 0; q < p.m.cfg.P; q++ {
+		if a >= p.m.poolBase[q] && a < p.m.poolEnd[q] {
+			if p.allocPtr > p.m.poolEnd[q] {
+				panic(fmt.Sprintf("machine: closure pool of proc %d exhausted", q))
+			}
+			return a
+		}
+	}
+	panic(fmt.Sprintf("machine: allocation pointer %d outside any pool", a))
+}
+
+// NewClosure implements capsule.Env.
+func (p *Proc) NewClosure(fn capsule.FuncID, cont pmem.Addr, args ...uint64) pmem.Addr {
+	n := capsule.HdrWords + len(args)
+	base := p.Alloc(n)
+	p.writeClosure(base, fn, p.allocPtr, cont, args)
+	return base
+}
+
+// writeClosure writes a closure image, charging one transfer per spanned
+// block (the words are written individually but a real machine would buffer
+// them; we charge the block-granular cost the model defines).
+func (p *Proc) writeClosure(base pmem.Addr, fn capsule.FuncID, allocBase, cont pmem.Addr, args []uint64) {
+	n := capsule.HdrWords + len(args)
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.Write(base, capsule.PackHeader(fn, n))
+	p.m.Mem.Write(base+1, uint64(allocBase))
+	p.m.Mem.Write(base+2, uint64(cont))
+	for i, v := range args {
+		p.m.Mem.Write(base+pmem.Addr(capsule.HdrWords+i), v)
+	}
+	b := p.m.cfg.BlockWords
+	blocks := int64(int(base+pmem.Addr(n-1))/b-int(base)/b) + 1
+	p.ctr.ExtWrites.Add(blocks)
+	p.capsWork += blocks
+	for blk := int(base) / b; blk <= int(base+pmem.Addr(n-1))/b; blk++ {
+		if p.war.OnWrite(blk) {
+			p.m.recordWAR(p.id, p.m.Registry.Name(p.fid), p.war.Violations()[len(p.war.Violations())-1])
+		}
+	}
+}
+
+// Install implements capsule.Env: patch the successor's allocation base to
+// this capsule's final allocation pointer (so the chain's bump allocator
+// never re-runs over closures that are still live), then write the restart
+// pointer — the last instruction of every capsule. Both writes are
+// deterministic under replay. Use TakeOver to resume another processor's
+// capsule without re-homing its allocator.
+func (p *Proc) Install(next pmem.Addr) {
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.Write(next+1, uint64(p.allocPtr))
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	p.TakeOver(next)
+}
+
+// TakeOver implements capsule.Env: install a closure without patching its
+// allocation base. The scheduler uses this to resume a hard-faulted
+// processor's active capsule, which must replay with the victim's own
+// allocation base so repeated allocations land at identical addresses.
+func (p *Proc) TakeOver(next pmem.Addr) {
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.Write(p.m.RestartAddr(p.id), uint64(next))
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	p.installed = true
+}
+
+// InstallSelf implements capsule.Env: re-install the current function with
+// new arguments using the two-slot swap, the persistent-loop idiom of §4.1.
+// The slots belong to the executing processor, so a takeover after a hard
+// fault continues the loop in the thief's slots — allocations, however,
+// keep flowing from the chain's allocation base as the paper requires.
+func (p *Proc) InstallSelf(args ...uint64) {
+	slot := p.selfSlots[0]
+	if p.base == p.selfSlots[0] {
+		slot = p.selfSlots[1]
+	}
+	p.writeClosure(slot, p.fid, p.allocPtr, p.cont, args)
+	p.Install(slot)
+}
+
+// Adopt implements capsule.Env: copy the immutable closure at job into this
+// chain's pool (re-homing its allocation base) and install the copy. Used by
+// the scheduler to jump to popped and stolen jobs.
+func (p *Proc) Adopt(job pmem.Addr) {
+	// Read the job closure (constant transfers: it spans <= 2 blocks).
+	p.checkNotInstalled()
+	p.faultPoint()
+	hdr := p.m.Mem.Read(job)
+	fid, n := capsule.UnpackHeader(hdr)
+	if n < capsule.HdrWords || n > capsule.MaxWords {
+		panic(fmt.Sprintf("machine: proc %d: Adopt of corrupt closure at %d", p.id, job))
+	}
+	cont := pmem.Addr(p.m.Mem.Read(job + 2))
+	args := make([]uint64, n-capsule.HdrWords)
+	for i := range args {
+		args[i] = p.m.Mem.Read(job + pmem.Addr(capsule.HdrWords+i))
+	}
+	b := p.m.cfg.BlockWords
+	blocks := int64(int(job+pmem.Addr(n-1))/b-int(job)/b) + 1
+	p.ctr.ExtReads.Add(blocks)
+	p.capsWork += blocks
+	for blk := int(job) / b; blk <= int(job+pmem.Addr(n-1))/b; blk++ {
+		p.war.OnRead(blk)
+	}
+
+	base := p.Alloc(n)
+	p.writeClosure(base, fid, p.allocPtr, cont, args)
+	p.Install(base)
+}
+
+// Halt implements capsule.Env.
+func (p *Proc) Halt() {
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.Write(p.m.RestartAddr(p.id), HaltWord)
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	p.installed = true
+	p.haltAfter = true
+}
+
+// ProcID implements capsule.Env.
+func (p *Proc) ProcID() int { return p.id }
+
+// Rand implements capsule.Env.
+func (p *Proc) Rand() uint64 { return p.rnd.Next() }
+
+// EphRead implements capsule.Env.
+func (p *Proc) EphRead(a int) uint64 { return p.eph.Read(a) }
+
+// EphWrite implements capsule.Env.
+func (p *Proc) EphWrite(a int, v uint64) { p.eph.Write(a, v) }
+
+// EphSize implements capsule.Env.
+func (p *Proc) EphSize() int { return p.eph.Size() }
+
+// IsLive exposes the liveness oracle to capsule code (free instruction).
+func (p *Proc) IsLive(proc int) bool { return p.m.Live.IsLive(proc) }
+
+// NoteSteal records a successful steal (statistics only).
+func (p *Proc) NoteSteal() { p.ctr.Steals.Add(1) }
+
+// NoteStealTry records a steal attempt (statistics only).
+func (p *Proc) NoteStealTry() { p.ctr.StealTries.Add(1) }
+
+// NumProcs returns P (free instruction).
+func (p *Proc) NumProcs() int { return p.m.cfg.P }
+
+// RestartAddrOf returns the address of proc's restart pointer, used by the
+// scheduler's getActiveCapsule when stealing from a hard-faulted processor.
+func (p *Proc) RestartAddrOf(proc int) pmem.Addr { return p.m.RestartAddr(proc) }
+
+// CtrlAddr returns the address of shared control word i.
+func (p *Proc) CtrlAddr(i int) pmem.Addr { return p.m.CtrlAddr(i) }
+
+var _ capsule.Env = (*Proc)(nil)

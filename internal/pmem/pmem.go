@@ -1,0 +1,153 @@
+// Package pmem implements the shared persistent memory of the Parallel-PM
+// model: a large word-addressable store, partitioned into blocks of B words,
+// that survives processor faults.
+//
+// All accesses go through sync/atomic operations, which on Go give the
+// sequentially consistent semantics the model assumes for persistent-memory
+// instructions. The store itself carries no cost accounting or fault
+// injection — those are the processor's concern (see internal/machine) —
+// so that the same memory can be inspected cheaply by tests and harnesses
+// without perturbing experiment counters.
+package pmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Addr is a word address into persistent memory.
+type Addr int64
+
+// Nil is the null address. Word 0 is reserved so that a zero word never
+// aliases a valid pointer.
+const Nil Addr = 0
+
+// Watcher observes every committed word mutation (plain writes and
+// successful CAS). Harness/test instrumentation only — it sees the memory
+// from "outside the model". It may be called concurrently from several
+// virtual processors and must not touch the Mem it watches.
+type Watcher func(a Addr, old, new uint64)
+
+// Mem is a persistent memory of fixed size with block size B (in words).
+type Mem struct {
+	words   []atomic.Uint64
+	block   int
+	watcher Watcher
+}
+
+// SetWatcher installs w (nil to remove). Install before the machine runs;
+// the field is not synchronized against in-flight accesses.
+func (m *Mem) SetWatcher(w Watcher) { m.watcher = w }
+
+// New creates a persistent memory with size words and blocks of blockWords
+// words. Word 0 is reserved (Nil).
+func New(size int, blockWords int) *Mem {
+	if size <= 0 {
+		panic("pmem: non-positive size")
+	}
+	if blockWords <= 0 {
+		panic("pmem: non-positive block size")
+	}
+	return &Mem{words: make([]atomic.Uint64, size), block: blockWords}
+}
+
+// Size returns the number of words.
+func (m *Mem) Size() int { return len(m.words) }
+
+// BlockWords returns B, the block size in words.
+func (m *Mem) BlockWords() int { return m.block }
+
+// NumBlocks returns the number of (full or partial) blocks.
+func (m *Mem) NumBlocks() int { return (len(m.words) + m.block - 1) / m.block }
+
+// BlockOf returns the block index containing addr.
+func (m *Mem) BlockOf(a Addr) int { return int(a) / m.block }
+
+func (m *Mem) check(a Addr) {
+	if a <= 0 || int64(a) >= int64(len(m.words)) {
+		panic(fmt.Sprintf("pmem: address %d out of range (size %d)", a, len(m.words)))
+	}
+}
+
+// Read returns the word at a.
+func (m *Mem) Read(a Addr) uint64 {
+	m.check(a)
+	return m.words[a].Load()
+}
+
+// Write stores v at a.
+func (m *Mem) Write(a Addr, v uint64) {
+	m.check(a)
+	if m.watcher != nil {
+		old := m.words[a].Load()
+		m.words[a].Store(v)
+		m.watcher(a, old, v)
+		return
+	}
+	m.words[a].Store(v)
+}
+
+// CAS atomically compares-and-swaps the word at a. It returns whether the
+// swap happened. Callers implementing the model's CAM must not let capsule
+// code observe this result (see machine.Proc.CAM).
+func (m *Mem) CAS(a Addr, old, new uint64) bool {
+	m.check(a)
+	ok := m.words[a].CompareAndSwap(old, new)
+	if ok && m.watcher != nil {
+		m.watcher(a, old, new)
+	}
+	return ok
+}
+
+// ReadBlock copies the block containing a into dst (len(dst) must be >= B;
+// only B words are written) and returns the block's base address. Partial
+// trailing blocks copy only the words that exist.
+func (m *Mem) ReadBlock(a Addr, dst []uint64) Addr {
+	m.check(a)
+	base := Addr(int(a) / m.block * m.block)
+	n := m.block
+	if int(base)+n > len(m.words) {
+		n = len(m.words) - int(base)
+	}
+	if len(dst) < n {
+		panic("pmem: ReadBlock dst too small")
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = m.words[int(base)+i].Load()
+	}
+	return base
+}
+
+// WriteBlock copies src (up to B words) into the block containing a.
+func (m *Mem) WriteBlock(a Addr, src []uint64) Addr {
+	m.check(a)
+	base := Addr(int(a) / m.block * m.block)
+	n := m.block
+	if int(base)+n > len(m.words) {
+		n = len(m.words) - int(base)
+	}
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		m.words[int(base)+i].Store(src[i])
+	}
+	return base
+}
+
+// Snapshot copies words [from, from+n) into a fresh slice. Test/harness
+// helper; does not model a machine instruction.
+func (m *Mem) Snapshot(from Addr, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.Read(from + Addr(i))
+	}
+	return out
+}
+
+// Load bulk-writes vals starting at from. Test/harness helper.
+func (m *Mem) Load(from Addr, vals []uint64) {
+	for i, v := range vals {
+		m.Write(from+Addr(i), v)
+	}
+}

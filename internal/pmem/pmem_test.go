@@ -1,0 +1,166 @@
+package pmem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(1024, 8)
+	m.Write(5, 0xdeadbeef)
+	if got := m.Read(5); got != 0xdeadbeef {
+		t.Errorf("Read(5) = %#x", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New(100, 4)
+	for a := Addr(1); a < 100; a++ {
+		if m.Read(a) != 0 {
+			t.Fatalf("word %d not zero", a)
+		}
+	}
+}
+
+func TestAddressZeroReserved(t *testing.T) {
+	m := New(16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on address 0")
+		}
+	}()
+	m.Read(0)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(16, 4)
+	for _, a := range []Addr{-1, 16, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic on address %d", a)
+				}
+			}()
+			m.Write(a, 1)
+		}()
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := New(16, 4)
+	m.Write(3, 10)
+	if !m.CAS(3, 10, 20) {
+		t.Fatal("CAS with matching old failed")
+	}
+	if m.Read(3) != 20 {
+		t.Fatalf("value after CAS = %d", m.Read(3))
+	}
+	if m.CAS(3, 10, 30) {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	if m.Read(3) != 20 {
+		t.Fatalf("value changed by failed CAS = %d", m.Read(3))
+	}
+}
+
+func TestCASConcurrentExactlyOnce(t *testing.T) {
+	m := New(16, 4)
+	const goroutines = 16
+	var wins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if m.CAS(1, 0, id+1) {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Errorf("CAS from 0 won %d times, want exactly 1", wins)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	m := New(64, 8)
+	src := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	base := m.WriteBlock(17, src) // block 2: words 16..23
+	if base != 16 {
+		t.Fatalf("base = %d, want 16", base)
+	}
+	dst := make([]uint64, 8)
+	if got := m.ReadBlock(23, dst); got != 16 {
+		t.Fatalf("read base = %d, want 16", got)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Errorf("word %d: got %d want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestPartialTrailingBlock(t *testing.T) {
+	m := New(10, 8) // block 1 covers words 8..9 only
+	m.WriteBlock(9, []uint64{7, 7, 7, 7, 7, 7, 7, 7})
+	dst := make([]uint64, 8)
+	m.ReadBlock(8, dst)
+	if dst[0] != 7 || dst[1] != 7 {
+		t.Errorf("trailing block contents: %v", dst[:2])
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	m := New(64, 8)
+	cases := map[Addr]int{1: 0, 7: 0, 8: 1, 15: 1, 16: 2, 63: 7}
+	for a, want := range cases {
+		if got := m.BlockOf(a); got != want {
+			t.Errorf("BlockOf(%d) = %d, want %d", a, got, want)
+		}
+	}
+	if m.NumBlocks() != 8 {
+		t.Errorf("NumBlocks = %d, want 8", m.NumBlocks())
+	}
+}
+
+func TestSnapshotLoad(t *testing.T) {
+	m := New(128, 8)
+	vals := []uint64{9, 8, 7, 6}
+	m.Load(40, vals)
+	got := m.Snapshot(40, 4)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("snapshot[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestPropertyWriteThenRead(t *testing.T) {
+	m := New(1<<12, 16)
+	f := func(a uint16, v uint64) bool {
+		addr := Addr(a%4095) + 1
+		m.Write(addr, v)
+		return m.Read(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct{ size, block int }{{0, 4}, {-1, 4}, {16, 0}, {16, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.size, tc.block)
+				}
+			}()
+			New(tc.size, tc.block)
+		}()
+	}
+}

@@ -1,0 +1,119 @@
+// Package rng provides small, deterministic pseudo-random number generators
+// used throughout the Parallel-PM simulator.
+//
+// Determinism matters here more than statistical quality: fault injection,
+// victim selection, and workload generation must be reproducible from a seed
+// so that experiments and failure cases can be replayed exactly. We therefore
+// avoid math/rand's global state and use explicit splitmix64/xoshiro256**
+// generators, one instance per virtual processor.
+package rng
+
+// SplitMix64 is a tiny 64-bit generator, primarily used to seed other
+// generators and to derive independent streams from a base seed.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256** generator. It is the workhorse
+// generator for fault injection and steal-victim selection.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator seeded by expanding seed with SplitMix64,
+// per the xoshiro authors' recommendation.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// A state of all zeros is invalid; splitmix output of any seed is
+	// astronomically unlikely to be all zero, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 1
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next 64-bit value in the stream.
+func (x *Xoshiro256) Next() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Next() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (x *Xoshiro256) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes vals in place.
+func (x *Xoshiro256) Shuffle(vals []uint64) {
+	for i := len(vals) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+}
+
+// Uint64s fills out with pseudo-random values and returns it.
+func (x *Xoshiro256) Uint64s(out []uint64) []uint64 {
+	for i := range out {
+		out[i] = x.Next()
+	}
+	return out
+}

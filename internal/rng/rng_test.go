@@ -1,0 +1,185 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the public-domain splitmix64
+	// implementation by Sebastiano Vigna.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("value %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroSeedsIndependent(t *testing.T) {
+	a := NewXoshiro256(1)
+	b := NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams from different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := NewXoshiro256(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256(11)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := NewXoshiro256(13)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	x := NewXoshiro256(17)
+	for i := 0; i < 100; i++ {
+		if x.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !x.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	x := NewXoshiro256(19)
+	const n = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if x.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Errorf("rate = %v, want ~%v", rate, p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := NewXoshiro256(23)
+	check := func(n uint8) bool {
+		m := int(n%64) + 1
+		p := x.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	x := NewXoshiro256(29)
+	vals := []uint64{1, 2, 3, 4, 5, 5, 6}
+	cp := append([]uint64(nil), vals...)
+	x.Shuffle(cp)
+	counts := map[uint64]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	for _, v := range cp {
+		counts[v]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Errorf("count mismatch for %d: %d", k, c)
+		}
+	}
+}
+
+func TestUint64sFills(t *testing.T) {
+	x := NewXoshiro256(31)
+	buf := make([]uint64, 64)
+	out := x.Uint64s(buf)
+	if &out[0] != &buf[0] {
+		t.Error("Uint64s did not return its argument")
+	}
+	zero := 0
+	for _, v := range buf {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Errorf("too many zeros: %d", zero)
+	}
+}

@@ -1,0 +1,76 @@
+package simcache
+
+// Concrete ideal-cache-model source programs for tests, examples, and the E3
+// benchmark harness.
+
+// ArraySum sums words [0, N) of simulated memory and stores the result at
+// word N. Register layout: r0 = i, r1 = acc, r2 = phase.
+type ArraySum struct{ N int }
+
+// RegWords implements Program.
+func (p *ArraySum) RegWords() int { return 3 }
+
+// Step implements Program.
+func (p *ArraySum) Step(regs []uint64, ctx Ctx) bool {
+	switch regs[2] {
+	case 0:
+		i := int(regs[0])
+		if i < p.N {
+			regs[1] += ctx.Read(i)
+			regs[0]++
+			return false
+		}
+		ctx.Write(p.N, regs[1])
+		regs[2] = 1
+		return false
+	default:
+		return true
+	}
+}
+
+// StrideWalk touches words (i*Stride) mod N for i in [0, Count), incrementing
+// each — a cache-unfriendly access pattern when Stride ≥ B.
+// Register layout: r0 = i.
+type StrideWalk struct {
+	N, Stride, Count int
+}
+
+// RegWords implements Program.
+func (p *StrideWalk) RegWords() int { return 1 }
+
+// Step implements Program.
+func (p *StrideWalk) Step(regs []uint64, ctx Ctx) bool {
+	i := int(regs[0])
+	if i >= p.Count {
+		return true
+	}
+	a := (i * p.Stride) % p.N
+	ctx.Write(a, ctx.Read(a)+1)
+	regs[0]++
+	return false
+}
+
+// HotLoop sweeps a working set of K words R times, incrementing each word per
+// sweep. With K ≤ M the ideal cache misses only on the first sweep, so the
+// simulation's O(t) bound predicts cost nearly independent of R.
+// Register layout: r0 = sweep, r1 = i.
+type HotLoop struct{ K, R int }
+
+// RegWords implements Program.
+func (p *HotLoop) RegWords() int { return 2 }
+
+// Step implements Program.
+func (p *HotLoop) Step(regs []uint64, ctx Ctx) bool {
+	if int(regs[0]) >= p.R {
+		return true
+	}
+	i := int(regs[1])
+	ctx.Write(i, ctx.Read(i)+1)
+	if i+1 < p.K {
+		regs[1]++
+	} else {
+		regs[1] = 0
+		regs[0]++
+	}
+	return false
+}

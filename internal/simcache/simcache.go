@@ -1,0 +1,316 @@
+// Package simcache implements Theorem 3.4: any (M,B) ideal-cache computation
+// with t cache misses runs on the (O(M),B) PM model in O(t) expected total
+// work.
+//
+// The construction is the proof's: each simulation capsule starts with an
+// empty simulated cache of 2M/B lines held in ephemeral memory, runs the
+// source program WITHOUT evicting anything, and closes once 2M/B distinct
+// blocks have been touched. Closing writes all dirty lines (with their
+// addresses) to a persistent buffer and the registers to the other of two
+// copies; a commit capsule applies the dirty lines to the simulated memory
+// and installs the next round. Since a round touches 2M/B distinct blocks, an
+// ideal cache of M/B lines must itself miss at least M/B times over the same
+// instructions, so the O(M/B) round cost is O(1) per ideal-cache miss.
+//
+// The package also provides an LRU reference executor used to estimate t for
+// the experiment harness (LRU is the classic 2-approximation of ideal
+// replacement at double the capacity).
+package simcache
+
+import (
+	"fmt"
+
+	"repro/internal/capsule"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// Ctx gives source programs word-granular access to simulated memory; the
+// simulation layers the cache model underneath.
+type Ctx interface {
+	Read(addr int) uint64
+	Write(addr int, v uint64)
+}
+
+// Program is an ideal-cache-model source program as a step machine: control
+// state lives in the constant-size register words so rounds replay
+// deterministically after faults. Step may perform O(1) accesses through ctx
+// and returns true when the program has finished.
+type Program interface {
+	RegWords() int
+	Step(regs []uint64, ctx Ctx) bool
+}
+
+// ---------- Reference executors ----------
+
+type directCtx struct{ mem []uint64 }
+
+func (c directCtx) Read(a int) uint64     { return c.mem[a] }
+func (c directCtx) Write(a int, v uint64) { c.mem[a] = v }
+
+// RunNative executes prog directly against mem with no cache model,
+// returning the step count.
+func RunNative(prog Program, mem []uint64, maxSteps int) (int, error) {
+	regs := make([]uint64, prog.RegWords())
+	ctx := directCtx{mem}
+	for s := 0; s < maxSteps; s++ {
+		if prog.Step(regs, ctx) {
+			return s + 1, nil
+		}
+	}
+	return maxSteps, fmt.Errorf("simcache: exceeded %d steps", maxSteps)
+}
+
+// LRUCache is a write-back, write-allocate cache model with least-recently-
+// used replacement, used as the reference miss counter.
+type LRUCache struct {
+	capacity int // lines
+	b        int // block words
+	mem      []uint64
+	lines    map[int][]uint64
+	dirty    map[int]bool
+	order    []int // LRU order, most recent last
+	Misses   int64
+	Writebacks int64
+}
+
+// NewLRU builds a cache of capLines lines over mem with blocks of b words.
+func NewLRU(capLines, b int, mem []uint64) *LRUCache {
+	return &LRUCache{
+		capacity: capLines, b: b, mem: mem,
+		lines: map[int][]uint64{}, dirty: map[int]bool{},
+	}
+}
+
+func (c *LRUCache) touch(blk int) {
+	for i, x := range c.order {
+		if x == blk {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), blk)
+			return
+		}
+	}
+	c.order = append(c.order, blk)
+}
+
+func (c *LRUCache) fetch(blk int) []uint64 {
+	if l, ok := c.lines[blk]; ok {
+		c.touch(blk)
+		return l
+	}
+	c.Misses++
+	if len(c.lines) >= c.capacity {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if c.dirty[victim] {
+			c.Writebacks++
+			copy(c.mem[victim*c.b:(victim+1)*c.b], c.lines[victim])
+		}
+		delete(c.lines, victim)
+		delete(c.dirty, victim)
+	}
+	l := make([]uint64, c.b)
+	copy(l, c.mem[blk*c.b:(blk+1)*c.b])
+	c.lines[blk] = l
+	c.touch(blk)
+	return l
+}
+
+// Read implements Ctx.
+func (c *LRUCache) Read(a int) uint64 {
+	return c.fetch(a / c.b)[a%c.b]
+}
+
+// Write implements Ctx.
+func (c *LRUCache) Write(a int, v uint64) {
+	blk := a / c.b
+	c.fetch(blk)[a%c.b] = v
+	c.dirty[blk] = true
+}
+
+// Flush writes all dirty lines back.
+func (c *LRUCache) Flush() {
+	for blk, d := range c.dirty {
+		if d {
+			copy(c.mem[blk*c.b:(blk+1)*c.b], c.lines[blk])
+		}
+	}
+	c.dirty = map[int]bool{}
+}
+
+// RunLRU executes prog against mem through an LRU cache of capLines lines,
+// returning the miss count — the reference t for Theorem 3.4 experiments.
+func RunLRU(prog Program, mem []uint64, capLines, b, maxSteps int) (int64, error) {
+	regs := make([]uint64, prog.RegWords())
+	c := NewLRU(capLines, b, mem)
+	for s := 0; s < maxSteps; s++ {
+		if prog.Step(regs, c) {
+			c.Flush()
+			return c.Misses, nil
+		}
+	}
+	return c.Misses, fmt.Errorf("simcache: exceeded %d steps", maxSteps)
+}
+
+// ---------- PM-model simulation ----------
+
+// Sim is the capsule-based simulation of one Program.
+type Sim struct {
+	m    *machine.Machine
+	prog Program
+
+	b         int
+	capBlocks int // 2M/B: distinct blocks per round
+	regBase   [2]pmem.Addr
+	regLen    int
+	bufIdx    pmem.Addr
+	bufData   pmem.Addr
+	bufCap    int
+	extBase   pmem.Addr
+	extWords  int
+
+	simFid, commitFid capsule.FuncID
+}
+
+// New allocates the simulation of prog over extWords of simulated memory,
+// with a simulated cache budget of mWords (the source model's M).
+func New(m *machine.Machine, name string, prog Program, extWords, mWords int) *Sim {
+	s := &Sim{m: m, prog: prog, b: m.BlockWords(), extWords: extWords}
+	s.capBlocks = 2 * mWords / s.b
+	if s.capBlocks < 2 {
+		s.capBlocks = 2
+	}
+	s.regLen = (prog.RegWords() + s.b - 1) / s.b * s.b
+	s.regBase[0] = m.HeapAllocBlocks(s.regLen)
+	s.regBase[1] = m.HeapAllocBlocks(s.regLen)
+	s.bufCap = s.capBlocks + 4
+	idxWords := (1 + s.bufCap + s.b - 1) / s.b * s.b
+	s.bufIdx = m.HeapAllocBlocks(idxWords)
+	s.bufData = m.HeapAllocBlocks(s.bufCap * s.b)
+	s.extBase = m.HeapAllocBlocks((extWords + s.b - 1) / s.b * s.b)
+	s.simFid = m.Registry.Register("simcache/"+name+"/sim", s.simStep)
+	s.commitFid = m.Registry.Register("simcache/"+name+"/commit", s.commit)
+	return s
+}
+
+// LoadExt initializes the simulated memory at setup time.
+func (s *Sim) LoadExt(vals []uint64) { s.m.Mem.Load(s.extBase, vals) }
+
+// ExtSnapshot returns the simulated memory contents.
+func (s *Sim) ExtSnapshot() []uint64 { return s.m.Mem.Snapshot(s.extBase, s.extWords) }
+
+// Install sets proc's restart pointer to the first simulation capsule.
+func (s *Sim) Install(proc int) {
+	root := s.m.BuildClosure(proc, s.simFid, pmem.Nil, 0)
+	s.m.SetRestart(proc, root)
+}
+
+// roundCache is the no-eviction simulated cache of one round.
+type roundCache struct {
+	s     *Sim
+	e     capsule.Env
+	lines map[int][]uint64
+	dirty map[int]bool
+	order []int // insertion order, for deterministic flushing
+}
+
+func (c *roundCache) line(blk int) []uint64 {
+	if l, ok := c.lines[blk]; ok {
+		return l
+	}
+	l := make([]uint64, c.s.b)
+	c.e.ReadBlock(c.s.extBase+pmem.Addr(blk*c.s.b), l)
+	c.lines[blk] = l
+	c.order = append(c.order, blk)
+	return l
+}
+
+// Read implements Ctx.
+func (c *roundCache) Read(a int) uint64 { return c.line(a / c.s.b)[a%c.s.b] }
+
+// Write implements Ctx.
+func (c *roundCache) Write(a int, v uint64) {
+	blk := a / c.s.b
+	c.line(blk)[a%c.s.b] = v
+	c.dirty[blk] = true
+}
+
+// simStep is the simulation capsule. Closure args: [0]=parity.
+func (s *Sim) simStep(e capsule.Env) {
+	par := e.Arg(0)
+
+	// Load registers from copy[par].
+	regs := make([]uint64, s.regLen)
+	buf := make([]uint64, s.b)
+	for off := 0; off < s.regLen; off += s.b {
+		e.ReadBlock(s.regBase[par]+pmem.Addr(off), buf)
+		copy(regs[off:off+s.b], buf)
+	}
+	regs = regs[:s.prog.RegWords()]
+
+	cache := &roundCache{s: s, e: e, lines: map[int][]uint64{}, dirty: map[int]bool{}}
+	done := false
+	// The step cap only guards against source programs that spin forever
+	// without touching memory; closing a round early is always correct.
+	const maxRoundSteps = 1 << 20
+	for step := 0; len(cache.lines) < s.capBlocks && step < maxRoundSteps; step++ {
+		if s.prog.Step(regs, cache) {
+			done = true
+			break
+		}
+	}
+
+	// Close: flush dirty lines to the buffer, save registers, hand off.
+	idx := make([]uint64, (1+s.bufCap+s.b-1)/s.b*s.b)
+	n := 0
+	for _, blk := range cache.order {
+		if !cache.dirty[blk] {
+			continue
+		}
+		if n >= s.bufCap {
+			panic("simcache: dirty-line buffer overflow")
+		}
+		idx[1+n] = uint64(blk)
+		e.WriteBlock(s.bufData+pmem.Addr(n*s.b), cache.lines[blk])
+		n++
+	}
+	idx[0] = uint64(n)
+	for off := 0; off < len(idx); off += s.b {
+		e.WriteBlock(s.bufIdx+pmem.Addr(off), idx[off:off+s.b])
+	}
+	out := make([]uint64, s.regLen)
+	copy(out, regs)
+	for off := 0; off < s.regLen; off += s.b {
+		e.WriteBlock(s.regBase[1-par]+pmem.Addr(off), out[off:off+s.b])
+	}
+	doneArg := uint64(0)
+	if done {
+		doneArg = 1
+	}
+	e.Install(e.NewClosure(s.commitFid, pmem.Nil, par, doneArg))
+}
+
+// commit applies the buffered dirty lines. Closure args: [0]=parity,
+// [1]=done flag.
+func (s *Sim) commit(e capsule.Env) {
+	par, done := e.Arg(0), e.Arg(1) == 1
+	idxLen := (1 + s.bufCap + s.b - 1) / s.b * s.b
+	idx := make([]uint64, idxLen)
+	buf := make([]uint64, s.b)
+	for off := 0; off < idxLen; off += s.b {
+		e.ReadBlock(s.bufIdx+pmem.Addr(off), buf)
+		copy(idx[off:off+s.b], buf)
+	}
+	n := int(idx[0])
+	if n > s.bufCap {
+		panic("simcache: corrupt buffer count")
+	}
+	for i := 0; i < n; i++ {
+		e.ReadBlock(s.bufData+pmem.Addr(i*s.b), buf)
+		e.WriteBlock(s.extBase+pmem.Addr(int(idx[1+i])*s.b), buf)
+	}
+	if done {
+		e.Halt()
+		return
+	}
+	e.Install(e.NewClosure(s.simFid, pmem.Nil, 1-par))
+}

@@ -1,0 +1,129 @@
+package simem
+
+// This file provides concrete external-memory source programs used by tests,
+// examples, and the E2 benchmark harness. Each is a deterministic step
+// machine: all control state lives in the register words so a simulation
+// round can replay from its saved state.
+
+// ScanSum sums all words of the first NBlocks external blocks and writes the
+// total into word 0 of block OutBlock.
+//
+// Register layout: r0 = next block to read, r1 = accumulator,
+// r2 = phase (0 scanning, 1 result written).
+type ScanSum struct {
+	NBlocks  int
+	OutBlock int
+	B        int // block words
+	M        int // simulated ephemeral words
+}
+
+// RegWords implements Program.
+func (p *ScanSum) RegWords() int { return 3 }
+
+// EphWords implements Program.
+func (p *ScanSum) EphWords() int { return p.M }
+
+// Step implements Program. Phases: 0 = issue next read (or the final
+// result write once all blocks are consumed), 1 = fold the block the
+// previous read delivered, 2 = finished.
+func (p *ScanSum) Step(regs, eph []uint64) Access {
+	switch regs[2] {
+	case 0:
+		i := int(regs[0])
+		if i < p.NBlocks {
+			regs[2] = 1
+			return Access{Kind: Read, Block: i, EphOff: 0}
+		}
+		for w := 1; w < p.B; w++ {
+			eph[w] = 0
+		}
+		eph[0] = regs[1]
+		regs[2] = 2
+		return Access{Kind: Write, Block: p.OutBlock, EphOff: 0}
+	case 1:
+		for w := 0; w < p.B; w++ {
+			regs[1] += eph[w]
+		}
+		regs[0]++
+		regs[2] = 0
+		return p.Step(regs, eph)
+	default:
+		return Access{Kind: Done}
+	}
+}
+
+// BlockReverse reverses the order of the first NBlocks blocks of external
+// memory (block granularity), using two block buffers in ephemeral memory.
+//
+// Register layout: r0 = lo block, r1 = hi block, r2 = phase within a swap
+// (0: need read lo; 1: need read hi; 2: need write lo; 3: need write hi).
+type BlockReverse struct {
+	NBlocks int
+	B       int
+	M       int
+}
+
+// RegWords implements Program.
+func (p *BlockReverse) RegWords() int { return 3 }
+
+// EphWords implements Program.
+func (p *BlockReverse) EphWords() int { return p.M }
+
+// Step implements Program.
+func (p *BlockReverse) Step(regs, eph []uint64) Access {
+	lo, hi, phase := int(regs[0]), int(regs[1]), regs[2]
+	if regs[1] == 0 && regs[0] == 0 && phase == 0 {
+		hi = p.NBlocks - 1
+		regs[1] = uint64(hi)
+	}
+	if lo >= hi {
+		return Access{Kind: Done}
+	}
+	switch phase {
+	case 0: // read lo into eph[0:B]
+		regs[2] = 1
+		return Access{Kind: Read, Block: lo, EphOff: 0}
+	case 1: // read hi into eph[B:2B]
+		regs[2] = 2
+		return Access{Kind: Read, Block: hi, EphOff: p.B}
+	case 2: // write hi's data to lo
+		regs[2] = 3
+		return Access{Kind: Write, Block: lo, EphOff: p.B}
+	default: // write lo's data to hi, advance
+		regs[0] = uint64(lo + 1)
+		regs[1] = uint64(hi - 1)
+		regs[2] = 0
+		return Access{Kind: Write, Block: hi, EphOff: 0}
+	}
+}
+
+// Fill writes Value into every word of the first NBlocks blocks.
+// Register layout: r0 = next block, r1 = initialized flag.
+type Fill struct {
+	NBlocks int
+	Value   uint64
+	B       int
+	M       int
+}
+
+// RegWords implements Program.
+func (p *Fill) RegWords() int { return 2 }
+
+// EphWords implements Program.
+func (p *Fill) EphWords() int { return p.M }
+
+// Step implements Program.
+func (p *Fill) Step(regs, eph []uint64) Access {
+	if regs[1] == 0 {
+		regs[1] = 1
+		for w := 0; w < p.B; w++ {
+			eph[w] = p.Value
+		}
+	}
+	i := int(regs[0])
+	if i >= p.NBlocks {
+		return Access{Kind: Done}
+	}
+	regs[0] = uint64(i + 1)
+	return Access{Kind: Write, Block: i, EphOff: 0}
+}

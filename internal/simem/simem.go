@@ -1,0 +1,255 @@
+// Package simem implements Theorem 3.3: any (M,B) external-memory
+// computation with t external accesses runs on the (O(M),B) PM model in O(t)
+// expected total work.
+//
+// The construction follows the paper's proof exactly. Execution proceeds in
+// rounds of two capsules:
+//
+//   - a simulation capsule loads one of two persistent copies of the
+//     simulated ephemeral memory and registers, runs the source program for
+//     up to M/B external accesses with all external WRITES buffered in
+//     ephemeral memory (reads consult the buffer first), then writes the
+//     other copy, the write buffer, and installs the commit capsule;
+//   - a commit capsule applies the buffered writes to the simulated external
+//     memory and installs the next simulation capsule.
+//
+// Every capsule is write-after-read conflict free: the two state copies swap
+// roles each round, the write buffer is write-only in simulation capsules and
+// read-only in commit capsules, and the simulated external memory is
+// read-only in simulation capsules and write-only in commit capsules.
+package simem
+
+import (
+	"fmt"
+
+	"repro/internal/capsule"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// AccessKind classifies a source program's next external action.
+type AccessKind int
+
+const (
+	// Read transfers block Block of external memory into simulated
+	// ephemeral memory at word offset EphOff.
+	Read AccessKind = iota
+	// Write transfers B words at EphOff of simulated ephemeral memory to
+	// external block Block.
+	Write
+	// Done signals program completion.
+	Done
+)
+
+// Access is one external-memory operation requested by the source program.
+type Access struct {
+	Kind   AccessKind
+	Block  int
+	EphOff int
+}
+
+// Program is a source external-memory program expressed as a step machine:
+// all control state lives in regs (constant size) and the simulated ephemeral
+// memory, so that a round can be replayed deterministically from its saved
+// state after a fault. Step performs any amount of free local computation on
+// regs and eph and returns the next external access (or Done).
+type Program interface {
+	// RegWords returns the constant number of register words.
+	RegWords() int
+	// EphWords returns the simulated ephemeral memory size M (words).
+	EphWords() int
+	// Step advances to the next external access.
+	Step(regs, eph []uint64) Access
+}
+
+// RunNative executes prog directly against ext (a slice of blocks laid out
+// contiguously, blockWords words each), returning the number of external
+// accesses t. Ground truth for results and for the Theorem 3.3 cost ratio.
+func RunNative(prog Program, ext []uint64, blockWords int, maxAccesses int) (int, error) {
+	regs := make([]uint64, prog.RegWords())
+	eph := make([]uint64, prog.EphWords())
+	for t := 0; t < maxAccesses; t++ {
+		a := prog.Step(regs, eph)
+		switch a.Kind {
+		case Done:
+			return t, nil
+		case Read:
+			copy(eph[a.EphOff:a.EphOff+blockWords], ext[a.Block*blockWords:])
+		case Write:
+			copy(ext[a.Block*blockWords:(a.Block+1)*blockWords], eph[a.EphOff:a.EphOff+blockWords])
+		}
+	}
+	return maxAccesses, fmt.Errorf("simem: exceeded %d accesses", maxAccesses)
+}
+
+// Sim is the PM-model simulation of one Program.
+type Sim struct {
+	m    *machine.Machine
+	prog Program
+
+	b         int // block words
+	roundCap  int // M/B: external accesses per round
+	stateLen  int // eph words + reg words, rounded to blocks
+	copies    [2]pmem.Addr
+	bufCount  pmem.Addr // one block: [count, blockIdx...]; overflow spills to next block
+	bufIdx    pmem.Addr // index words region
+	bufData   pmem.Addr // roundCap blocks of data
+	extBase   pmem.Addr
+	extBlocks int
+
+	simFid, commitFid capsule.FuncID
+}
+
+// New allocates the simulation of prog over extBlocks blocks of simulated
+// external memory. The machine's block size is the model's B; the machine's
+// ephemeral memory must be a constant factor larger than prog.EphWords()
+// (the proof's O(M)).
+func New(m *machine.Machine, name string, prog Program, extBlocks int) *Sim {
+	s := &Sim{m: m, prog: prog, b: m.BlockWords(), extBlocks: extBlocks}
+	s.roundCap = prog.EphWords() / s.b
+	if s.roundCap < 1 {
+		s.roundCap = 1
+	}
+	stateWords := prog.EphWords() + prog.RegWords()
+	s.stateLen = (stateWords + s.b - 1) / s.b * s.b
+	s.copies[0] = m.HeapAllocBlocks(s.stateLen)
+	s.copies[1] = m.HeapAllocBlocks(s.stateLen)
+	idxWords := (1 + s.roundCap + s.b - 1) / s.b * s.b
+	s.bufIdx = m.HeapAllocBlocks(idxWords)
+	s.bufData = m.HeapAllocBlocks(s.roundCap * s.b)
+	s.extBase = m.HeapAllocBlocks(extBlocks * s.b)
+	s.simFid = m.Registry.Register("simem/"+name+"/sim", s.simStep)
+	s.commitFid = m.Registry.Register("simem/"+name+"/commit", s.commit)
+	return s
+}
+
+// LoadExt initializes simulated external memory at setup time.
+func (s *Sim) LoadExt(vals []uint64) {
+	if len(vals) > s.extBlocks*s.b {
+		panic("simem: LoadExt larger than external memory")
+	}
+	s.m.Mem.Load(s.extBase, vals)
+}
+
+// ExtSnapshot returns the simulated external memory contents.
+func (s *Sim) ExtSnapshot() []uint64 {
+	return s.m.Mem.Snapshot(s.extBase, s.extBlocks*s.b)
+}
+
+// Install sets proc's restart pointer to the first simulation capsule.
+func (s *Sim) Install(proc int) {
+	root := s.m.BuildClosure(proc, s.simFid, pmem.Nil, 0 /* parity */)
+	s.m.SetRestart(proc, root)
+}
+
+// loadState reads copy[par] into fresh regs and eph slices.
+func (s *Sim) loadState(e capsule.Env, par uint64) (regs, eph []uint64) {
+	base := s.copies[par]
+	words := make([]uint64, 0, s.stateLen)
+	buf := make([]uint64, s.b)
+	for off := 0; off < s.stateLen; off += s.b {
+		e.ReadBlock(base+pmem.Addr(off), buf)
+		words = append(words, buf...)
+	}
+	ephW := s.prog.EphWords()
+	return words[ephW : ephW+s.prog.RegWords()], words[:ephW]
+}
+
+// storeState writes regs and eph into copy[1-par].
+func (s *Sim) storeState(e capsule.Env, par uint64, regs, eph []uint64) {
+	base := s.copies[1-par]
+	words := make([]uint64, s.stateLen)
+	copy(words, eph)
+	copy(words[s.prog.EphWords():], regs)
+	for off := 0; off < s.stateLen; off += s.b {
+		e.WriteBlock(base+pmem.Addr(off), words[off:off+s.b])
+	}
+}
+
+// simStep is the simulation capsule. Closure args: [0]=parity.
+func (s *Sim) simStep(e capsule.Env) {
+	par := e.Arg(0)
+	regs, eph := s.loadState(e, par)
+
+	type wbEntry struct {
+		block int
+		data  []uint64
+	}
+	wbOrder := make([]int, 0, s.roundCap)
+	wb := make(map[int][]uint64, s.roundCap)
+	done := false
+	for cnt := 0; cnt < s.roundCap; cnt++ {
+		a := s.prog.Step(regs, eph)
+		if a.Kind == Done {
+			done = true
+			break
+		}
+		switch a.Kind {
+		case Read:
+			if d, ok := wb[a.Block]; ok {
+				copy(eph[a.EphOff:a.EphOff+s.b], d)
+			} else {
+				buf := make([]uint64, s.b)
+				e.ReadBlock(s.extBase+pmem.Addr(a.Block*s.b), buf)
+				copy(eph[a.EphOff:a.EphOff+s.b], buf)
+			}
+		case Write:
+			d, ok := wb[a.Block]
+			if !ok {
+				d = make([]uint64, s.b)
+				wb[a.Block] = d
+				wbOrder = append(wbOrder, a.Block)
+			}
+			copy(d, eph[a.EphOff:a.EphOff+s.b])
+		}
+	}
+
+	// Close the capsule: persist the other state copy, the write buffer,
+	// and hand off to the commit capsule.
+	s.storeState(e, par, regs, eph)
+	idx := make([]uint64, (1+s.roundCap+s.b-1)/s.b*s.b)
+	idx[0] = uint64(len(wbOrder))
+	for i, blk := range wbOrder {
+		idx[1+i] = uint64(blk)
+		e.WriteBlock(s.bufData+pmem.Addr(i*s.b), wb[blk])
+	}
+	for off := 0; off < len(idx); off += s.b {
+		e.WriteBlock(s.bufIdx+pmem.Addr(off), idx[off:off+s.b])
+	}
+	doneArg := uint64(0)
+	if done {
+		doneArg = 1
+	}
+	next := e.NewClosure(s.commitFid, pmem.Nil, par, doneArg)
+	e.Install(next)
+}
+
+// commit is the commit capsule. Closure args: [0]=parity of the completed
+// round, [1]=done flag.
+func (s *Sim) commit(e capsule.Env) {
+	par := e.Arg(0)
+	done := e.Arg(1) == 1
+
+	idxLen := (1 + s.roundCap + s.b - 1) / s.b * s.b
+	idx := make([]uint64, idxLen)
+	buf := make([]uint64, s.b)
+	for off := 0; off < idxLen; off += s.b {
+		e.ReadBlock(s.bufIdx+pmem.Addr(off), buf)
+		copy(idx[off:off+s.b], buf)
+	}
+	n := int(idx[0])
+	if n > s.roundCap {
+		panic("simem: corrupt write-buffer count")
+	}
+	for i := 0; i < n; i++ {
+		blk := int(idx[1+i])
+		e.ReadBlock(s.bufData+pmem.Addr(i*s.b), buf)
+		e.WriteBlock(s.extBase+pmem.Addr(blk*s.b), buf)
+	}
+	if done {
+		e.Halt()
+		return
+	}
+	next := e.NewClosure(s.simFid, pmem.Nil, 1-par)
+	e.Install(next)
+}

@@ -1,0 +1,195 @@
+// Package simram implements Theorem 3.2: any RAM computation of t steps runs
+// on the PM model with O(t) expected total work, by simulating one RAM
+// instruction per capsule and double-buffering the simulated registers in
+// persistent memory so every capsule is write-after-read conflict free.
+//
+// The package defines a small RAM instruction set (the "source" model), a
+// native reference interpreter used to establish ground truth and step
+// counts, and the capsule-based PM simulation of the proof.
+package simram
+
+import "fmt"
+
+// Op is a RAM opcode.
+type Op uint8
+
+// The RAM instruction set. Registers are r0..r7; Imm is a signed immediate.
+const (
+	// Loadi rd <- imm
+	Loadi Op = iota
+	// Mov rd <- ra
+	Mov
+	// Add rd <- ra + rb
+	Add
+	// Sub rd <- ra - rb
+	Sub
+	// Mul rd <- ra * rb
+	Mul
+	// Load rd <- mem[ra]
+	Load
+	// Store mem[ra] <- rb
+	Store
+	// Jmp pc <- Imm
+	Jmp
+	// Jnz if ra != 0 then pc <- Imm
+	Jnz
+	// Jlt if ra < rb (unsigned) then pc <- Imm
+	Jlt
+	// Halt stops the program
+	Halt
+)
+
+// NumRegs is the number of RAM registers (the model allows O(1)).
+const NumRegs = 8
+
+// Instr is one RAM instruction.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb uint8
+	Imm        int64
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case Loadi:
+		return fmt.Sprintf("loadi r%d, %d", i.Rd, i.Imm)
+	case Mov:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Ra)
+	case Add:
+		return fmt.Sprintf("add r%d, r%d, r%d", i.Rd, i.Ra, i.Rb)
+	case Sub:
+		return fmt.Sprintf("sub r%d, r%d, r%d", i.Rd, i.Ra, i.Rb)
+	case Mul:
+		return fmt.Sprintf("mul r%d, r%d, r%d", i.Rd, i.Ra, i.Rb)
+	case Load:
+		return fmt.Sprintf("load r%d, (r%d)", i.Rd, i.Ra)
+	case Store:
+		return fmt.Sprintf("store (r%d), r%d", i.Ra, i.Rb)
+	case Jmp:
+		return fmt.Sprintf("jmp %d", i.Imm)
+	case Jnz:
+		return fmt.Sprintf("jnz r%d, %d", i.Ra, i.Imm)
+	case Jlt:
+		return fmt.Sprintf("jlt r%d, r%d, %d", i.Ra, i.Rb, i.Imm)
+	case Halt:
+		return "halt"
+	}
+	return fmt.Sprintf("<bad op %d>", i.Op)
+}
+
+// Program is a RAM program. Per the model it is constant size and cached by
+// the processor, so fetching instructions is free.
+type Program []Instr
+
+// RunNative interprets the program directly against mem, returning the final
+// registers and the number of instructions executed. It is the ground truth
+// for the PM simulation and the source of the step count t in Theorem 3.2.
+func (p Program) RunNative(mem []uint64, maxSteps int) (regs [NumRegs]uint64, steps int, err error) {
+	pc := 0
+	for steps = 0; steps < maxSteps; steps++ {
+		if pc < 0 || pc >= len(p) {
+			return regs, steps, fmt.Errorf("simram: pc %d out of range", pc)
+		}
+		in := p[pc]
+		pc++
+		switch in.Op {
+		case Loadi:
+			regs[in.Rd] = uint64(in.Imm)
+		case Mov:
+			regs[in.Rd] = regs[in.Ra]
+		case Add:
+			regs[in.Rd] = regs[in.Ra] + regs[in.Rb]
+		case Sub:
+			regs[in.Rd] = regs[in.Ra] - regs[in.Rb]
+		case Mul:
+			regs[in.Rd] = regs[in.Ra] * regs[in.Rb]
+		case Load:
+			a := regs[in.Ra]
+			if a >= uint64(len(mem)) {
+				return regs, steps, fmt.Errorf("simram: load address %d out of range", a)
+			}
+			regs[in.Rd] = mem[a]
+		case Store:
+			a := regs[in.Ra]
+			if a >= uint64(len(mem)) {
+				return regs, steps, fmt.Errorf("simram: store address %d out of range", a)
+			}
+			mem[a] = regs[in.Rb]
+		case Jmp:
+			pc = int(in.Imm)
+		case Jnz:
+			if regs[in.Ra] != 0 {
+				pc = int(in.Imm)
+			}
+		case Jlt:
+			if regs[in.Ra] < regs[in.Rb] {
+				pc = int(in.Imm)
+			}
+		case Halt:
+			return regs, steps + 1, nil
+		default:
+			return regs, steps, fmt.Errorf("simram: bad opcode %d", in.Op)
+		}
+	}
+	return regs, steps, fmt.Errorf("simram: exceeded %d steps", maxSteps)
+}
+
+// SumProgram builds a RAM program that sums mem[0..n) into r0 and stores the
+// result at mem[n].
+func SumProgram(n int) Program {
+	return Program{
+		0: {Op: Loadi, Rd: 0, Imm: 0},        // r0 = acc
+		1: {Op: Loadi, Rd: 1, Imm: 0},        // r1 = i
+		2: {Op: Loadi, Rd: 2, Imm: int64(n)}, // r2 = n
+		3: {Op: Loadi, Rd: 3, Imm: 1},        // r3 = 1
+		4: {Op: Jlt, Ra: 1, Rb: 2, Imm: 6},   // loop: if i < n goto body
+		5: {Op: Jmp, Imm: 10},                // goto end
+		6: {Op: Load, Rd: 4, Ra: 1},          // body: r4 = mem[i]
+		7: {Op: Add, Rd: 0, Ra: 0, Rb: 4},    // acc += r4
+		8: {Op: Add, Rd: 1, Ra: 1, Rb: 3},    // i++
+		9: {Op: Jmp, Imm: 4},                 // goto loop
+		10: {Op: Loadi, Rd: 5, Imm: int64(n)}, // end: r5 = n
+		11: {Op: Store, Ra: 5, Rb: 0},         // mem[n] = acc
+		12: {Op: Halt},
+	}
+}
+
+// FibProgram computes fib(n) iteratively into r0 (no memory traffic).
+func FibProgram(n int) Program {
+	return Program{
+		{Op: Loadi, Rd: 0, Imm: 0},        // a
+		{Op: Loadi, Rd: 1, Imm: 1},        // b
+		{Op: Loadi, Rd: 2, Imm: 0},        // i
+		{Op: Loadi, Rd: 3, Imm: int64(n)}, // n
+		{Op: Loadi, Rd: 4, Imm: 1},        // 1
+		// loop:
+		{Op: Jlt, Ra: 2, Rb: 3, Imm: 7},
+		{Op: Halt},
+		// body:
+		{Op: Add, Rd: 5, Ra: 0, Rb: 1}, // t = a+b
+		{Op: Mov, Rd: 0, Ra: 1},        // a = b
+		{Op: Mov, Rd: 1, Ra: 5},        // b = t
+		{Op: Add, Rd: 2, Ra: 2, Rb: 4}, // i++
+		{Op: Jmp, Imm: 5},
+	}
+}
+
+// ReverseProgram reverses mem[0..n) in place.
+func ReverseProgram(n int) Program {
+	return Program{
+		{Op: Loadi, Rd: 0, Imm: 0},            // lo
+		{Op: Loadi, Rd: 1, Imm: int64(n - 1)}, // hi
+		{Op: Loadi, Rd: 2, Imm: 1},            // 1
+		// loop:
+		{Op: Jlt, Ra: 0, Rb: 1, Imm: 5},
+		{Op: Halt},
+		// body:
+		{Op: Load, Rd: 3, Ra: 0},       // t1 = mem[lo]
+		{Op: Load, Rd: 4, Ra: 1},       // t2 = mem[hi]
+		{Op: Store, Ra: 0, Rb: 4},      // mem[lo] = t2
+		{Op: Store, Ra: 1, Rb: 3},      // mem[hi] = t1
+		{Op: Add, Rd: 0, Ra: 0, Rb: 2}, // lo++
+		{Op: Sub, Rd: 1, Ra: 1, Rb: 2}, // hi--
+		{Op: Jmp, Imm: 3},
+	}
+}

@@ -1,0 +1,182 @@
+package simram
+
+import (
+	"fmt"
+
+	"repro/internal/capsule"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// Sim runs a RAM program on the PM model per the Theorem 3.2 construction:
+// two copies of the simulated registers (plus PC) live in persistent memory
+// in distinct blocks; each capsule reads one copy, simulates exactly one RAM
+// instruction (with its at-most-one memory access), writes the other copy,
+// and swaps. Every capsule is write-after-read conflict free, so replays
+// after faults are invisible, and capsule work is a constant k.
+type Sim struct {
+	m       *machine.Machine
+	prog    Program
+	bank    [2]pmem.Addr // register banks: NumRegs words + PC word
+	memBase pmem.Addr    // simulated RAM, one word per word
+	memLen  int
+	fid     capsule.FuncID
+	root    pmem.Addr
+	// MaxSteps guards against buggy programs.
+	MaxSteps uint64
+}
+
+const bankWords = NumRegs + 1 // registers + PC
+
+// New allocates simulation state for prog over memWords of simulated RAM and
+// registers the capsule function in m's registry under a unique name.
+func New(m *machine.Machine, name string, prog Program, memWords int) *Sim {
+	s := &Sim{m: m, prog: prog, memLen: memWords, MaxSteps: 1 << 32}
+	// Each bank gets its own block(s) so bank-swap capsules are WAR-free.
+	b := m.BlockWords()
+	perBank := (bankWords + b - 1) / b * b
+	s.bank[0] = m.HeapAllocBlocks(perBank)
+	s.bank[1] = m.HeapAllocBlocks(perBank)
+	s.memBase = m.HeapAllocBlocks(memWords)
+	s.fid = m.Registry.Register("simram/"+name, s.step)
+	return s
+}
+
+// LoadMem writes vals into the simulated RAM at setup time.
+func (s *Sim) LoadMem(vals []uint64) {
+	if len(vals) > s.memLen {
+		panic("simram: LoadMem larger than simulated memory")
+	}
+	s.m.Mem.Load(s.memBase, vals)
+}
+
+// Install builds the root closure on proc and sets its restart pointer.
+// Args: step counter, parity (which bank holds current state).
+func (s *Sim) Install(proc int) {
+	s.root = s.m.BuildClosure(proc, s.fid, pmem.Nil, 0, 0)
+	s.m.SetRestart(proc, s.root)
+}
+
+// step simulates one RAM instruction. Closure args: [0]=steps done,
+// [1]=parity p; bank[p] holds the current registers+PC.
+func (s *Sim) step(e capsule.Env) {
+	steps := e.Arg(0)
+	par := e.Arg(1)
+	if steps > s.MaxSteps {
+		panic(fmt.Sprintf("simram: exceeded %d steps", s.MaxSteps))
+	}
+	cur := s.bank[par]
+	next := s.bank[1-par]
+
+	// Read the current bank: [pc, r0..r7], a constant number of block
+	// transfers.
+	bank := s.readBank(e, cur)
+	pc := bank[0]
+	if pc >= uint64(len(s.prog)) {
+		panic(fmt.Sprintf("simram: pc %d out of range", pc))
+	}
+	in := s.prog[pc]
+	reg := bank[1:]
+	newPC := pc + 1
+	switch in.Op {
+	case Loadi:
+		reg[in.Rd] = uint64(in.Imm)
+	case Mov:
+		reg[in.Rd] = reg[in.Ra]
+	case Add:
+		reg[in.Rd] = reg[in.Ra] + reg[in.Rb]
+	case Sub:
+		reg[in.Rd] = reg[in.Ra] - reg[in.Rb]
+	case Mul:
+		reg[in.Rd] = reg[in.Ra] * reg[in.Rb]
+	case Load:
+		a := reg[in.Ra]
+		if a >= uint64(s.memLen) {
+			panic(fmt.Sprintf("simram: load address %d out of range", a))
+		}
+		reg[in.Rd] = e.Read(s.memBase + pmem.Addr(a))
+	case Store:
+		a := reg[in.Ra]
+		if a >= uint64(s.memLen) {
+			panic(fmt.Sprintf("simram: store address %d out of range", a))
+		}
+		e.Write(s.memBase+pmem.Addr(a), reg[in.Rb])
+	case Jmp:
+		newPC = uint64(in.Imm)
+	case Jnz:
+		if reg[in.Ra] != 0 {
+			newPC = uint64(in.Imm)
+		}
+	case Jlt:
+		if reg[in.Ra] < reg[in.Rb] {
+			newPC = uint64(in.Imm)
+		}
+	case Halt:
+		e.Halt()
+		return
+	default:
+		panic(fmt.Sprintf("simram: bad opcode %d", in.Op))
+	}
+
+	// Write the other bank and swap.
+	bank[0] = newPC
+	s.writeBank(e, next, bank)
+	e.InstallSelf(steps+1, 1-par)
+}
+
+// readBank loads a register bank with block transfers (banks are
+// block-aligned at allocation).
+func (s *Sim) readBank(e capsule.Env, base pmem.Addr) []uint64 {
+	b := s.m.BlockWords()
+	out := make([]uint64, 0, bankWords)
+	buf := make([]uint64, b)
+	for off := 0; off < bankWords; off += b {
+		e.ReadBlock(base+pmem.Addr(off), buf)
+		n := bankWords - off
+		if n > b {
+			n = b
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// writeBank stores a register bank with block transfers.
+func (s *Sim) writeBank(e capsule.Env, base pmem.Addr, bank []uint64) {
+	b := s.m.BlockWords()
+	buf := make([]uint64, b)
+	for off := 0; off < bankWords; off += b {
+		n := bankWords - off
+		if n > b {
+			n = b
+		}
+		copy(buf, bank[off:off+n])
+		e.WriteBlock(base+pmem.Addr(off), buf)
+	}
+}
+
+// Regs returns the final simulated registers after the machine has run.
+func (s *Sim) Regs() [NumRegs]uint64 {
+	// The final state is in the bank written by the last completed step.
+	// Find it by taking the bank whose PC points at a Halt instruction.
+	var out [NumRegs]uint64
+	for p := 0; p < 2; p++ {
+		pc := s.m.Mem.Read(s.bank[p])
+		if pc < uint64(len(s.prog)) && s.prog[pc].Op == Halt {
+			for i := 0; i < NumRegs; i++ {
+				out[i] = s.m.Mem.Read(s.bank[p] + 1 + pmem.Addr(i))
+			}
+			return out
+		}
+	}
+	// Fall back to bank 0 (program halted at step 0 edge cases).
+	for i := 0; i < NumRegs; i++ {
+		out[i] = s.m.Mem.Read(s.bank[0] + 1 + pmem.Addr(i))
+	}
+	return out
+}
+
+// MemSnapshot returns the simulated RAM contents.
+func (s *Sim) MemSnapshot() []uint64 {
+	return s.m.Mem.Snapshot(s.memBase, s.memLen)
+}

@@ -1,0 +1,64 @@
+package simram
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+)
+
+// TestSoftFaultOrdinalSweep injects one soft fault at every persistent-
+// access ordinal of a RAM simulation in turn; Theorem 3.2's idempotence
+// means the simulated results must be bit-identical every time.
+func TestSoftFaultOrdinalSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	prog := ReverseProgram(9)
+	memInit := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want := []uint64{9, 8, 7, 6, 5, 4, 3, 2, 1}
+
+	// Measure the faultless access count to size the sweep.
+	m0 := machine.New(machine.Config{P: 1})
+	s0 := New(m0, "probe", prog, len(memInit)+1)
+	s0.LoadMem(memInit)
+	s0.Install(0)
+	m0.Run()
+	maxAcc := m0.Stats.Summarize().Work
+
+	for k := int64(0); k < maxAcc; k++ {
+		k := k
+		t.Run(fmt.Sprintf("fault@%d", k), func(t *testing.T) {
+			m := machine.New(machine.Config{P: 1, Check: true, StrictCheck: true,
+				Injector: fault.NewScript().Add(0, k, fault.Soft)})
+			s := New(m, "sweep", prog, len(memInit)+1)
+			s.LoadMem(memInit)
+			s.Install(0)
+			m.Run()
+			mem := s.MemSnapshot()
+			for i, w := range want {
+				if mem[i] != w {
+					t.Fatalf("mem[%d] = %d, want %d (fault at access %d broke idempotence)",
+						i, mem[i], w, k)
+				}
+			}
+		})
+	}
+}
+
+// TestDoubleFaultSameCapsule: two consecutive faults (restart, then fault
+// again immediately) — the capsule must tolerate repeated partial replays.
+func TestDoubleFaultSameCapsule(t *testing.T) {
+	for _, at := range []int64{3, 7, 12} {
+		inj := fault.NewScript().Add(0, at, fault.Soft).Add(0, at+2, fault.Soft).Add(0, at+4, fault.Soft)
+		m := machine.New(machine.Config{P: 1, Injector: inj})
+		s := New(m, fmt.Sprintf("dbl%d", at), SumProgram(6), 8)
+		s.LoadMem([]uint64{1, 2, 3, 4, 5, 6})
+		s.Install(0)
+		m.Run()
+		if got := s.MemSnapshot()[6]; got != 21 {
+			t.Errorf("at=%d: sum = %d, want 21", at, got)
+		}
+	}
+}

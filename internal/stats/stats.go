@@ -1,0 +1,135 @@
+// Package stats collects the cost-model counters of the Parallel-PM model.
+//
+// The model charges unit cost for each external (persistent-memory) read or
+// write and zero for everything else. The simulator distinguishes
+//
+//   - W  (faultless work): transfers observed in a run with fault injection
+//     disabled, and
+//   - Wf (total work): transfers in a faulty run, including all the repeated
+//     work caused by capsule restarts.
+//
+// Counters are per-processor and updated with atomics so that concurrent
+// virtual processors can record costs without coordination; aggregation
+// happens at read time.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ProcCounters holds the per-processor cost counters. All fields are updated
+// atomically.
+type ProcCounters struct {
+	ExtReads     atomic.Int64 // external (persistent) block reads
+	ExtWrites    atomic.Int64 // external (persistent) block writes, incl. CAS/CAM
+	SoftFaults   atomic.Int64 // injected soft faults
+	Restarts     atomic.Int64 // capsule restarts executed (= soft faults observed by run loop)
+	Capsules     atomic.Int64 // capsules started (first runs, not restarts)
+	Steals       atomic.Int64 // successful popTop operations
+	StealTries   atomic.Int64 // popTop attempts
+	LocalInstrs  atomic.Int64 // zero-cost instructions (informational only)
+	UserWork     atomic.Int64 // transfers inside algorithm (non-scheduler) capsules
+	MaxCapsWork  atomic.Int64 // max transfers observed within a single capsule run
+	HardFaulted  atomic.Bool  // set when this processor dies permanently
+	HelpedSteals atomic.Int64 // helpPopTop completions performed for other processors
+}
+
+// Transfers returns reads+writes for this processor.
+func (c *ProcCounters) Transfers() int64 {
+	return c.ExtReads.Load() + c.ExtWrites.Load()
+}
+
+// NoteCapsuleWork records the transfer count of one completed capsule run and
+// keeps the maximum.
+func (c *ProcCounters) NoteCapsuleWork(n int64) {
+	for {
+		cur := c.MaxCapsWork.Load()
+		if n <= cur || c.MaxCapsWork.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Counters aggregates counters across P processors.
+type Counters struct {
+	Procs []ProcCounters
+}
+
+// New returns counters for p processors.
+func New(p int) *Counters {
+	return &Counters{Procs: make([]ProcCounters, p)}
+}
+
+// Reset zeroes every counter.
+func (s *Counters) Reset() {
+	for i := range s.Procs {
+		c := &s.Procs[i]
+		c.ExtReads.Store(0)
+		c.ExtWrites.Store(0)
+		c.SoftFaults.Store(0)
+		c.Restarts.Store(0)
+		c.Capsules.Store(0)
+		c.Steals.Store(0)
+		c.StealTries.Store(0)
+		c.LocalInstrs.Store(0)
+		c.UserWork.Store(0)
+		c.MaxCapsWork.Store(0)
+		c.HardFaulted.Store(false)
+		c.HelpedSteals.Store(0)
+	}
+}
+
+// Summary is a point-in-time aggregate of all processors.
+type Summary struct {
+	P           int   // number of processors
+	Dead        int   // processors that hard-faulted
+	Work        int64 // total transfers (Wf under faults, W without)
+	UserWork    int64 // transfers inside algorithm capsules only (excludes scheduler/fork-join protocol)
+	Reads       int64
+	Writes      int64
+	SoftFaults  int64
+	Restarts    int64
+	Capsules    int64
+	Steals      int64
+	StealTries  int64
+	MaxProcWork int64 // max transfers by any one processor (the model's time T/Tf)
+	MaxCapsWork int64 // max capsule work observed anywhere
+}
+
+// Summarize aggregates the current counter values.
+func (s *Counters) Summarize() Summary {
+	var out Summary
+	out.P = len(s.Procs)
+	for i := range s.Procs {
+		c := &s.Procs[i]
+		r, w := c.ExtReads.Load(), c.ExtWrites.Load()
+		out.Reads += r
+		out.Writes += w
+		out.Work += r + w
+		out.UserWork += c.UserWork.Load()
+		out.SoftFaults += c.SoftFaults.Load()
+		out.Restarts += c.Restarts.Load()
+		out.Capsules += c.Capsules.Load()
+		out.Steals += c.Steals.Load()
+		out.StealTries += c.StealTries.Load()
+		if t := r + w; t > out.MaxProcWork {
+			out.MaxProcWork = t
+		}
+		if m := c.MaxCapsWork.Load(); m > out.MaxCapsWork {
+			out.MaxCapsWork = m
+		}
+		if c.HardFaulted.Load() {
+			out.Dead++
+		}
+	}
+	return out
+}
+
+// String renders the summary as a single informative line.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"P=%d dead=%d work=%d (r=%d w=%d) time=%d faults=%d restarts=%d capsules=%d maxC=%d steals=%d/%d",
+		s.P, s.Dead, s.Work, s.Reads, s.Writes, s.MaxProcWork,
+		s.SoftFaults, s.Restarts, s.Capsules, s.MaxCapsWork, s.Steals, s.StealTries)
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSummarizeAggregates(t *testing.T) {
+	s := New(3)
+	s.Procs[0].ExtReads.Store(10)
+	s.Procs[0].ExtWrites.Store(5)
+	s.Procs[1].ExtReads.Store(1)
+	s.Procs[2].ExtWrites.Store(100)
+	s.Procs[2].HardFaulted.Store(true)
+
+	sum := s.Summarize()
+	if sum.Work != 116 {
+		t.Errorf("Work = %d, want 116", sum.Work)
+	}
+	if sum.Reads != 11 || sum.Writes != 105 {
+		t.Errorf("Reads/Writes = %d/%d, want 11/105", sum.Reads, sum.Writes)
+	}
+	if sum.MaxProcWork != 100 {
+		t.Errorf("MaxProcWork = %d, want 100", sum.MaxProcWork)
+	}
+	if sum.Dead != 1 {
+		t.Errorf("Dead = %d, want 1", sum.Dead)
+	}
+	if sum.P != 3 {
+		t.Errorf("P = %d, want 3", sum.P)
+	}
+}
+
+func TestNoteCapsuleWorkKeepsMax(t *testing.T) {
+	var c ProcCounters
+	c.NoteCapsuleWork(5)
+	c.NoteCapsuleWork(3)
+	c.NoteCapsuleWork(9)
+	c.NoteCapsuleWork(2)
+	if got := c.MaxCapsWork.Load(); got != 9 {
+		t.Errorf("MaxCapsWork = %d, want 9", got)
+	}
+}
+
+func TestNoteCapsuleWorkConcurrent(t *testing.T) {
+	var c ProcCounters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				c.NoteCapsuleWork(base + i)
+			}
+		}(int64(g) * 1000)
+	}
+	wg.Wait()
+	if got := c.MaxCapsWork.Load(); got != 7999 {
+		t.Errorf("MaxCapsWork = %d, want 7999", got)
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	s := New(2)
+	s.Procs[0].ExtReads.Store(7)
+	s.Procs[1].SoftFaults.Store(3)
+	s.Procs[1].HardFaulted.Store(true)
+	s.Reset()
+	sum := s.Summarize()
+	if sum.Work != 0 || sum.SoftFaults != 0 || sum.Dead != 0 {
+		t.Errorf("after Reset: %+v", sum)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := New(1)
+	s.Procs[0].ExtReads.Store(2)
+	str := s.Summarize().String()
+	if str == "" {
+		t.Error("empty summary string")
+	}
+}
