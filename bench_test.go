@@ -3,6 +3,10 @@
 // custom units: transfers/op (the PM model's Wf), time/op-model (Tf, max
 // per-processor transfers), and restarts/op.
 //
+// Workload benchmarks drive the public ppm API — the algorithm suite runs
+// through the uniform ppm.Catalog registry; only the simulation theorems
+// (3.2–3.4) touch the raw machine, which is their subject matter.
+//
 //	go test -bench=. -benchmem
 package repro
 
@@ -10,27 +14,22 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/algos/blockio"
-	"repro/internal/algos/matmul"
-	"repro/internal/algos/merge"
-	"repro/internal/algos/prefixsum"
-	"repro/internal/algos/sort"
-	"repro/internal/capsule"
-	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
-	"repro/internal/pmem"
-	"repro/internal/rng"
 	"repro/internal/simcache"
 	"repro/internal/simem"
 	"repro/internal/simram"
+	"repro/ppm"
 )
 
-func report(b *testing.B, m *machine.Machine) {
-	s := m.Stats.Summarize()
+func reportStats(b *testing.B, s ppm.Stats) {
 	b.ReportMetric(float64(s.Work), "transfers/op")
 	b.ReportMetric(float64(s.MaxProcWork), "Tf/op")
 	b.ReportMetric(float64(s.Restarts), "restarts/op")
+}
+
+func report(b *testing.B, m *machine.Machine) {
+	reportStats(b, m.Stats.Summarize())
 }
 
 // BenchmarkRAMSim — E1 (Theorem 3.2).
@@ -83,40 +82,41 @@ func BenchmarkCacheSim(b *testing.B) {
 	}
 }
 
-// buildTree registers the canonical fork-join tree sum on rt.
-func buildTree(rt *core.Runtime, n, leaf int) (capsule.FuncID, pmem.Addr) {
-	m := rt.Machine
-	in := m.HeapAllocBlocks(n)
-	out := m.HeapAllocBlocks(1)
-	for i := 0; i < n; i++ {
-		m.Mem.Write(in+pmem.Addr(i), uint64(i%13+1))
+// buildTree registers the canonical fork-join tree sum on rt through the
+// public API and returns the root function and the output array.
+func buildTree(rt *ppm.Runtime, n, leaf int) (ppm.FuncRef, ppm.Array) {
+	in := rt.NewArray(n)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i%13 + 1)
 	}
-	bw := m.BlockWords()
-	cmb := m.Registry.Register("bench/combine", func(e capsule.Env) {
-		l := e.Read(pmem.Addr(e.Arg(0)))
-		r := e.Read(pmem.Addr(e.Arg(1)))
-		e.Write(pmem.Addr(e.Arg(2)), l+r)
-		rt.FJ.TaskDone(e)
+	in.Load(vals)
+	out := rt.NewArray(1)
+
+	combine := rt.Register("bench/combine", func(c ppm.Ctx) {
+		l := c.Read(c.Addr(0))
+		r := c.Read(c.Addr(1))
+		c.Write(c.Addr(2), l+r)
+		c.Done()
 	})
-	var fid capsule.FuncID
-	fid = m.Registry.Register("bench/sum", func(e capsule.Env) {
-		lo, hi, dst := int(e.Arg(0)), int(e.Arg(1)), pmem.Addr(e.Arg(2))
+	var sum ppm.FuncRef
+	sum = rt.Register("bench/sum", func(c ppm.Ctx) {
+		lo, hi, dst := c.Int(0), c.Int(1), c.Addr(2)
 		if hi-lo <= leaf {
 			var acc uint64
-			blockio.ReadRange(e, bw, in, lo, hi, func(_ int, v uint64) { acc += v })
-			e.Write(dst, acc)
-			rt.FJ.TaskDone(e)
+			in.Range(c, lo, hi, func(_ int, v uint64) { acc += v })
+			c.Write(dst, acc)
+			c.Done()
 			return
 		}
 		mid := (lo + hi) / 2
-		slots := e.Alloc(2)
-		k := e.NewClosure(cmb, e.Cont(), uint64(slots), uint64(slots+1), uint64(dst))
-		rt.FJ.Fork2(e,
-			fid, []uint64{uint64(lo), uint64(mid), uint64(slots)},
-			fid, []uint64{uint64(mid), uint64(hi), uint64(slots + 1)},
-			k)
+		s := c.Alloc(2)
+		c.ForkThen(
+			sum.Call(lo, mid, s.At(0)),
+			sum.Call(mid, hi, s.At(1)),
+			combine.Call(s.At(0), s.At(1), dst))
 	})
-	return fid, out
+	return sum, out
 }
 
 // BenchmarkScheduler — E5 (Theorem 6.2): the work-stealing scheduler across
@@ -126,14 +126,15 @@ func BenchmarkScheduler(b *testing.B) {
 		for _, f := range []float64{0, 0.005} {
 			b.Run(fmt.Sprintf("P=%d/f=%v", p, f), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					rt := core.New(core.Config{P: p, FaultRate: f, Seed: uint64(i),
-						PoolWords: 1 << 21, MemWords: 1 << 25})
-					fid, out := buildTree(rt, 4096, 32)
-					if !rt.Run(fid, 0, 4096, uint64(out)) {
+					rt := ppm.New(ppm.WithProcs(p), ppm.WithFaultRate(f),
+						ppm.WithSeed(uint64(i)),
+						ppm.WithPoolWords(1<<21), ppm.WithMemWords(1<<25))
+					sum, out := buildTree(rt, 4096, 32)
+					if !rt.Run(sum, 0, 4096, out.At(0)) {
 						b.Fatal("did not complete")
 					}
 					if i == b.N-1 {
-						report(b, rt.Machine)
+						reportStats(b, rt.Stats())
 					}
 				}
 			})
@@ -144,10 +145,10 @@ func BenchmarkScheduler(b *testing.B) {
 // BenchmarkDequeSteals — E4: steal-heavy fan-out (deep trees, tiny leaves).
 func BenchmarkDequeSteals(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rt := core.New(core.Config{P: 8, Seed: uint64(i),
-			PoolWords: 1 << 21, MemWords: 1 << 25})
-		fid, out := buildTree(rt, 1024, 4)
-		if !rt.Run(fid, 0, 1024, uint64(out)) {
+		rt := ppm.New(ppm.WithProcs(8), ppm.WithSeed(uint64(i)),
+			ppm.WithPoolWords(1<<21), ppm.WithMemWords(1<<25))
+		sum, out := buildTree(rt, 1024, 4)
+		if !rt.Run(sum, 0, 1024, out.At(0)) {
 			b.Fatal("did not complete")
 		}
 		if i == b.N-1 {
@@ -161,118 +162,46 @@ func BenchmarkDequeSteals(b *testing.B) {
 // BenchmarkHardFaults — E6: completion with dying processors.
 func BenchmarkHardFaults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rt := core.New(core.Config{P: 4, Seed: uint64(i),
-			DieAt:     map[int]int64{1: 200, 2: 500},
-			PoolWords: 1 << 21, MemWords: 1 << 25})
-		fid, out := buildTree(rt, 2048, 32)
-		if !rt.Run(fid, 0, 2048, uint64(out)) {
+		rt := ppm.New(ppm.WithProcs(4), ppm.WithSeed(uint64(i)),
+			ppm.WithHardFault(1, 200), ppm.WithHardFault(2, 500),
+			ppm.WithPoolWords(1<<21), ppm.WithMemWords(1<<25))
+		sum, out := buildTree(rt, 2048, 32)
+		if !rt.Run(sum, 0, 2048, out.At(0)) {
 			b.Fatal("did not complete")
 		}
 		if i == b.N-1 {
-			report(b, rt.Machine)
+			reportStats(b, rt.Stats())
 		}
 	}
 }
 
-func algoCfg(p int, f float64, seed uint64) core.Config {
-	return core.Config{P: p, FaultRate: f, Seed: seed,
-		EphWords: 1 << 13, MemWords: 1 << 25, PoolWords: 1 << 21}
-}
-
-// BenchmarkPrefixSum — E7 (Theorem 7.1).
-func BenchmarkPrefixSum(b *testing.B) {
-	for _, n := range []int{1 << 12, 1 << 15} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			in := rng.NewXoshiro256(1).Uint64s(make([]uint64, n))
+// BenchmarkAlgorithms — E7–E10 (Theorems 7.1–7.4): every catalog workload
+// at its default benchmark size on the same faulty machine, verified
+// against the sequential reference each iteration.
+func BenchmarkAlgorithms(b *testing.B) {
+	for _, spec := range ppm.Catalog() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			// Input generation is hoisted out of the timed loop; the
+			// sequential-reference check runs once, on the final iteration.
+			algo := spec.New("b", spec.BenchN, 1)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rt := core.New(algoCfg(4, 0.002, uint64(i)))
-				ps := prefixsum.Build(rt.Machine, rt.FJ, "b", n, 0)
-				ps.LoadInput(in)
-				if !ps.Run() {
+				rt := ppm.New(ppm.WithProcs(4), ppm.WithFaultRate(0.002),
+					ppm.WithSeed(uint64(i)), ppm.WithEphWords(1<<13),
+					ppm.WithMemWords(1<<25), ppm.WithPoolWords(1<<21))
+				algo.Build(rt)
+				if !algo.Run() {
 					b.Fatal("did not complete")
 				}
 				if i == b.N-1 {
-					report(b, rt.Machine)
+					if err := algo.Verify(); err != nil {
+						b.Fatal(err)
+					}
+					reportStats(b, rt.Stats())
 				}
 			}
 		})
-	}
-}
-
-// BenchmarkMerge — E8 (Theorem 7.2).
-func BenchmarkMerge(b *testing.B) {
-	const n = 1 << 13
-	a := make([]uint64, n)
-	c := make([]uint64, n)
-	var accA, accC uint64
-	x := rng.NewXoshiro256(2)
-	for i := 0; i < n; i++ {
-		accA += x.Next() % 16
-		accC += x.Next() % 16
-		a[i], c[i] = accA, accC
-	}
-	for i := 0; i < b.N; i++ {
-		rt := core.New(algoCfg(4, 0.002, uint64(i)))
-		mg := merge.Build(rt.Machine, rt.FJ, "b", n, n, 0)
-		mg.LoadInputs(a, c)
-		if !mg.Run() {
-			b.Fatal("did not complete")
-		}
-		if i == b.N-1 {
-			report(b, rt.Machine)
-		}
-	}
-}
-
-// BenchmarkSort — E9 (Theorem 7.3): both algorithms, same input.
-func BenchmarkSort(b *testing.B) {
-	const n, mWords = 1 << 14, 1024
-	in := rng.NewXoshiro256(3).Uint64s(make([]uint64, n))
-	b.Run("mergesort", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rt := core.New(algoCfg(2, 0.001, uint64(i)))
-			ms := sort.NewMergeSort(rt.Machine, rt.FJ, "b", n, mWords)
-			ms.LoadInput(in)
-			if !ms.Run() {
-				b.Fatal("did not complete")
-			}
-			if i == b.N-1 {
-				report(b, rt.Machine)
-			}
-		}
-	})
-	b.Run("samplesort", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rt := core.New(algoCfg(2, 0.001, uint64(i)))
-			ss := sort.NewSampleSort(rt.Machine, rt.FJ, "b", n, mWords)
-			ss.LoadInput(in)
-			if !ss.Run() {
-				b.Fatal("did not complete")
-			}
-			if i == b.N-1 {
-				report(b, rt.Machine)
-			}
-		}
-	})
-}
-
-// BenchmarkMatMul — E10 (Theorem 7.4).
-func BenchmarkMatMul(b *testing.B) {
-	const n = 32
-	x := rng.NewXoshiro256(4)
-	ma := x.Uint64s(make([]uint64, n*n))
-	mb := x.Uint64s(make([]uint64, n*n))
-	for i := 0; i < b.N; i++ {
-		rt := core.New(core.Config{P: 4, FaultRate: 0.001, Seed: uint64(i),
-			MemWords: 1 << 25, PoolWords: 1 << 21})
-		mm := matmul.Build(rt.Machine, rt.FJ, "b", n, 8, 1<<20)
-		mm.LoadInputs(ma, mb)
-		if !mm.Run() {
-			b.Fatal("did not complete")
-		}
-		if i == b.N-1 {
-			report(b, rt.Machine)
-		}
 	}
 }
 
@@ -281,16 +210,21 @@ func BenchmarkCapsuleGranularity(b *testing.B) {
 	for _, leaf := range []int{8, 512} {
 		b.Run(fmt.Sprintf("leaf=%d", leaf), func(b *testing.B) {
 			const n = 1 << 13
-			in := rng.NewXoshiro256(5).Uint64s(make([]uint64, n))
+			in := make([]uint64, n)
+			for j := range in {
+				in[j] = uint64(j % 97)
+			}
 			for i := 0; i < b.N; i++ {
-				rt := core.New(algoCfg(2, 0.01, uint64(i)))
-				ps := prefixsum.Build(rt.Machine, rt.FJ, "b", n, leaf)
-				ps.LoadInput(in)
-				if !ps.Run() {
+				rt := ppm.New(ppm.WithProcs(2), ppm.WithFaultRate(0.01),
+					ppm.WithSeed(uint64(i)), ppm.WithEphWords(1<<13),
+					ppm.WithMemWords(1<<25), ppm.WithPoolWords(1<<21))
+				algo := ppm.PrefixSum("b", in, leaf)
+				algo.Build(rt)
+				if !algo.Run() {
 					b.Fatal("did not complete")
 				}
 				if i == b.N-1 {
-					report(b, rt.Machine)
+					reportStats(b, rt.Stats())
 				}
 			}
 		})

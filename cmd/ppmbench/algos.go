@@ -3,22 +3,36 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/algos/matmul"
-	"repro/internal/algos/merge"
-	"repro/internal/algos/prefixsum"
-	"repro/internal/algos/sort"
-	"repro/internal/capsule"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/machine"
-	"repro/internal/pmem"
 	"repro/internal/rng"
 	"repro/internal/warcheck"
+	"repro/ppm"
 )
 
-func algoRT(p int, f float64, seed uint64) *core.Runtime {
-	return core.New(core.Config{P: p, FaultRate: f, Seed: seed,
-		EphWords: 1 << 13, MemWords: 1 << 25, PoolWords: 1 << 22})
+// algoRT builds the standard faulty machine the algorithm experiments share.
+func algoRT(p int, f float64, seed uint64) *ppm.Runtime {
+	return ppm.New(
+		ppm.WithProcs(p),
+		ppm.WithFaultRate(f),
+		ppm.WithSeed(seed),
+		ppm.WithEphWords(1<<13),
+		ppm.WithMemWords(1<<25),
+		ppm.WithPoolWords(1<<22),
+	)
+}
+
+// mustRun builds algo on rt, runs it, and verifies the output against the
+// sequential reference — the uniform driver every experiment shares.
+func mustRun(rt *ppm.Runtime, algo ppm.Algorithm) bool {
+	algo.Build(rt)
+	if !algo.Run() {
+		fmt.Println("FAILED: every processor died")
+		return false
+	}
+	if err := algo.Verify(); err != nil {
+		fmt.Printf("WRONG OUTPUT: %v\n", err)
+		return false
+	}
+	return true
 }
 
 // runE7 — Theorem 7.1: prefix sum W = O(n/B), D = O(log n), C = O(1).
@@ -27,19 +41,16 @@ func runE7() {
 	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
 		for _, f := range []float64{0, 0.005} {
 			rt := algoRT(4, f, 2)
-			ps := prefixsum.Build(rt.Machine, rt.FJ, "e7", n, 0)
-			x := rng.NewXoshiro256(uint64(n))
-			in := make([]uint64, n)
-			for i := range in {
-				in[i] = x.Next() % 1000
+			algo, ok := ppm.NewByName("prefixsum", "e7", n, uint64(n))
+			if !ok {
+				fmt.Println("unknown workload prefixsum")
+				return
 			}
-			ps.LoadInput(in)
-			if !ps.Run() {
-				fmt.Println("FAILED")
+			if !mustRun(rt, algo) {
 				continue
 			}
 			s := rt.Stats()
-			nb := float64(n) / float64(rt.Machine.BlockWords())
+			nb := float64(n) / float64(rt.BlockWords())
 			fmt.Printf("%10d %8.3f %12d %10.2f %8d\n",
 				n, f, s.UserWork, float64(s.UserWork)/nb, s.MaxCapsWork)
 		}
@@ -53,30 +64,17 @@ func runE8() {
 	for _, n := range []int{1 << 9, 1 << 12, 1 << 15} {
 		for _, f := range []float64{0, 0.005} {
 			rt := algoRT(4, f, 3)
-			mg := merge.Build(rt.Machine, rt.FJ, "e8", n, n, 0)
-			mg.LoadInputs(sortedKeys(n, 1), sortedKeys(n, 2))
-			if !mg.Run() {
-				fmt.Println("FAILED")
+			algo := ppm.Merge("e8", ppm.SortedInput(n, 1), ppm.SortedInput(n, 2))
+			if !mustRun(rt, algo) {
 				continue
 			}
 			s := rt.Stats()
-			nb := 2 * float64(n) / float64(rt.Machine.BlockWords())
+			nb := 2 * float64(n) / float64(rt.BlockWords())
 			fmt.Printf("%10d %8.3f %12d %10.2f %8d\n",
 				n, f, s.UserWork, float64(s.UserWork)/nb, s.MaxCapsWork)
 		}
 	}
 	fmt.Println("check: W/(n/B) flat; maxC grows only logarithmically (binary searches)")
-}
-
-func sortedKeys(n int, seed uint64) []uint64 {
-	x := rng.NewXoshiro256(seed)
-	v := make([]uint64, n)
-	var acc uint64
-	for i := range v {
-		acc += x.Next() % 64
-		v[i] = acc
-	}
-	return v
 }
 
 // runE9 — Theorem 7.3: samplesort's W/(n/B) flat in n, mergesort's grows
@@ -87,28 +85,19 @@ func runE9() {
 	fmt.Printf("%10s %10s %14s %14s\n", "n", "log2(n/M)", "msort W/(n/B)", "ssort W/(n/B)")
 	for _, n := range []int{1 << 13, 1 << 14, 1 << 15, 1 << 16} {
 		row := make([]float64, 2)
-		for i, sample := range []bool{false, true} {
+		in := rng.NewXoshiro256(uint64(n)).Uint64s(make([]uint64, n))
+		for i := range in {
+			in[i] %= 1_000_000
+		}
+		for i, algo := range []ppm.Algorithm{
+			ppm.MergeSort("e9", in, mWords),
+			ppm.SampleSort("e9", in, mWords),
+		} {
 			rt := algoRT(1, 0, 7)
-			x := rng.NewXoshiro256(uint64(n))
-			in := make([]uint64, n)
-			for j := range in {
-				in[j] = x.Next() % 1_000_000
-			}
-			var run func() bool
-			if sample {
-				ss := sort.NewSampleSort(rt.Machine, rt.FJ, "e9", n, mWords)
-				ss.LoadInput(in)
-				run = ss.Run
-			} else {
-				ms := sort.NewMergeSort(rt.Machine, rt.FJ, "e9", n, mWords)
-				ms.LoadInput(in)
-				run = ms.Run
-			}
-			if !run() {
-				fmt.Println("FAILED")
+			if !mustRun(rt, algo) {
 				return
 			}
-			nb := float64(n) / float64(rt.Machine.BlockWords())
+			nb := float64(n) / float64(rt.BlockWords())
 			row[i] = float64(rt.Stats().UserWork) / nb
 		}
 		logNM := 0
@@ -130,21 +119,19 @@ func runE10() {
 			if base > n {
 				continue
 			}
-			rt := core.New(core.Config{P: 2, Seed: 9, MemWords: 1 << 25, PoolWords: 1 << 22})
-			mm := matmul.Build(rt.Machine, rt.FJ, fmt.Sprintf("e10-%d-%d", n, base), n, base, 1<<20)
+			rt := ppm.New(ppm.WithProcs(2), ppm.WithSeed(9),
+				ppm.WithMemWords(1<<25), ppm.WithPoolWords(1<<22))
 			x := rng.NewXoshiro256(uint64(n))
 			a := make([]uint64, n*n)
 			b := make([]uint64, n*n)
 			for i := range a {
 				a[i], b[i] = x.Next()%10, x.Next()%10
 			}
-			mm.LoadInputs(a, b)
-			if !mm.Run() {
-				fmt.Println("FAILED")
+			if !mustRun(rt, ppm.MatMul(fmt.Sprintf("e10-%d-%d", n, base), n, base, a, b)) {
 				continue
 			}
 			w := float64(rt.Stats().UserWork)
-			bw := float64(rt.Machine.BlockWords())
+			bw := float64(rt.BlockWords())
 			norm := w * bw * float64(base) / (float64(n) * float64(n) * float64(n))
 			fmt.Printf("%8d %8d %12.0f %12.3f\n", n, base, w, norm)
 		}
@@ -198,17 +185,16 @@ func runE12() {
 
 	// The corruption a WAR conflict causes under replay (Theorem 3.1's
 	// converse): in-place increment double-applies.
-	m := machine.New(machine.Config{P: 1, Injector: fault.NewScript().Add(0, 4, fault.Soft)})
-	cell := m.HeapAllocBlocks(1)
-	fid := m.Registry.Register("e12/incr", func(e capsule.Env) {
-		v := e.Read(cell)
-		e.Write(cell, v+1)
-		e.Halt()
+	rt := ppm.New(ppm.WithSoftFaultAt(0, 4))
+	cell := rt.NewArray(1)
+	incr := rt.Register("e12/incr", func(c ppm.Ctx) {
+		v := c.Read(cell.At(0))
+		c.Write(cell.At(0), v+1)
+		c.Halt()
 	})
-	m.SetRestart(0, m.BuildClosure(0, fid, pmem.Nil))
-	m.Run()
+	rt.RunOnAll(incr)
 	fmt.Printf("in-place increment with one fault: cell = %d (correct would be 1)\n",
-		m.Mem.Read(cell))
+		cell.Snapshot()[0])
 	fmt.Println("check: all planted conflicts flagged; WAR capsule visibly non-idempotent")
 }
 
@@ -219,42 +205,21 @@ func runE12() {
 func runA3() {
 	fmt.Printf("%-12s %10s %10s %12s %12s %12s\n",
 		"algorithm", "reads", "writes", "cost ω=1", "cost ω=4", "cost ω=16")
-	row := func(name string, r, w int64) {
+	for _, spec := range ppm.Catalog() {
+		n := 1 << 14
+		switch spec.Name {
+		case "merge", "mergesort", "samplesort":
+			n = 1 << 13
+		case "matmul":
+			n = 32
+		}
+		rt := algoRT(1, 0, 1)
+		if !mustRun(rt, spec.New("a3", n, uint64(n))) {
+			continue
+		}
+		s := rt.Stats()
 		fmt.Printf("%-12s %10d %10d %12d %12d %12d\n",
-			name, r, w, r+w, r+4*w, r+16*w)
-	}
-	{
-		rt := algoRT(1, 0, 1)
-		ps := prefixsum.Build(rt.Machine, rt.FJ, "a3", 1<<14, 0)
-		ps.LoadInput(rng.NewXoshiro256(1).Uint64s(make([]uint64, 1<<14)))
-		ps.Run()
-		s := rt.Stats()
-		row("prefixsum", s.Reads, s.Writes)
-	}
-	{
-		rt := algoRT(1, 0, 1)
-		mg := merge.Build(rt.Machine, rt.FJ, "a3", 1<<13, 1<<13, 0)
-		mg.LoadInputs(sortedKeys(1<<13, 1), sortedKeys(1<<13, 2))
-		mg.Run()
-		s := rt.Stats()
-		row("merge", s.Reads, s.Writes)
-	}
-	{
-		rt := algoRT(1, 0, 1)
-		ss := sort.NewSampleSort(rt.Machine, rt.FJ, "a3", 1<<14, 1024)
-		ss.LoadInput(rng.NewXoshiro256(2).Uint64s(make([]uint64, 1<<14)))
-		ss.Run()
-		s := rt.Stats()
-		row("samplesort", s.Reads, s.Writes)
-	}
-	{
-		rt := core.New(core.Config{P: 1, Seed: 1, MemWords: 1 << 25, PoolWords: 1 << 21})
-		mm := matmul.Build(rt.Machine, rt.FJ, "a3", 32, 8, 1<<20)
-		x := rng.NewXoshiro256(3)
-		mm.LoadInputs(x.Uint64s(make([]uint64, 32*32)), x.Uint64s(make([]uint64, 32*32)))
-		mm.Run()
-		s := rt.Stats()
-		row("matmul", s.Reads, s.Writes)
+			spec.Name, s.Reads, s.Writes, s.Reads+s.Writes, s.Reads+4*s.Writes, s.Reads+16*s.Writes)
 	}
 	fmt.Println("check: capsule bookkeeping (closure writes, installs) makes the")
 	fmt.Println("model write-heavy; asymmetric cost scales accordingly — the")
@@ -279,15 +244,12 @@ func runA2() {
 				continue
 			}
 			rt := algoRT(2, f, 13)
-			ps := prefixsum.Build(rt.Machine, rt.FJ, fmt.Sprintf("a2-%d-%v", leaf, f), n, leaf)
 			x := rng.NewXoshiro256(1)
 			in := make([]uint64, n)
 			for i := range in {
 				in[i] = x.Next() % 100
 			}
-			ps.LoadInput(in)
-			if !ps.Run() {
-				fmt.Println("FAILED")
+			if !mustRun(rt, ppm.PrefixSum(fmt.Sprintf("a2-%d-%v", leaf, f), in, leaf)) {
 				continue
 			}
 			s := rt.Stats()

@@ -13,60 +13,53 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/capsule"
-	"repro/internal/fault"
-	"repro/internal/machine"
-	"repro/internal/pmem"
+	"repro/ppm"
 )
 
 func main() {
 	const procs = 4
-	m := machine.New(machine.Config{
-		P:        procs,
-		Check:    true,
-		Injector: fault.NewIID(procs, 0.15, 7), // very faulty machine
-	})
+	rt := ppm.New(
+		ppm.WithProcs(procs),
+		ppm.WithFaultRate(0.15), // very faulty machine
+		ppm.WithSeed(7),
+		ppm.WithWARCheck(),
+	)
 
-	jobOwner := m.HeapAllocBlocks(1) // 0 = unowned (the "default")
-	claimed := m.HeapAllocBlocks(procs * m.BlockWords())
+	owner := rt.NewArray(1)            // 0 = unowned (the "default")
+	claimed := rt.NewBlockArray(procs) // per-processor result slots, WAR-independent
 
 	// claimOwnership, per Figure 2: CAM(target, default, myID), then in the
 	// NEXT capsule read the target to see who won.
-	var claimFid, checkFid capsule.FuncID
-	checkFid = m.Registry.Register("checkOwnership", func(e capsule.Env) {
-		me := uint64(e.ProcID()) + 1
-		owner := e.Read(jobOwner)
+	check := rt.Register("checkOwnership", func(c ppm.Ctx) {
+		me := uint64(c.Proc()) + 1
 		won := uint64(0)
-		if owner == me {
+		if c.Read(owner.At(0)) == me {
 			won = 1
 		}
-		e.Write(claimed+pmem.Addr(e.ProcID()*m.BlockWords()), won+1) // 1=lost, 2=won
-		e.Halt()
+		claimed.Set(c, c.Proc(), won+1) // 1=lost, 2=won
+		c.Halt()
 	})
-	claimFid = m.Registry.Register("claimOwnership", func(e capsule.Env) {
-		me := uint64(e.ProcID()) + 1
-		e.CAM(jobOwner, 0, me) // result deliberately not visible
-		e.Install(e.NewClosure(checkFid, pmem.Nil))
+	claim := rt.Register("claimOwnership", func(c ppm.Ctx) {
+		me := uint64(c.Proc()) + 1
+		c.CAM(owner.At(0), 0, me) // result deliberately not visible
+		c.Then(check.Call())
 	})
 
-	for p := 0; p < procs; p++ {
-		m.SetRestart(p, m.BuildClosure(p, claimFid, pmem.Nil))
-	}
-	m.Run()
+	rt.RunOnAll(claim)
 
-	owner := m.Mem.Read(jobOwner)
-	fmt.Printf("owner word: processor %d claimed the job\n", owner-1)
+	ownerWord := owner.Snapshot()[0]
+	fmt.Printf("owner word: processor %d claimed the job\n", ownerWord-1)
 	winners := 0
+	results := claimed.Snapshot()
 	for p := 0; p < procs; p++ {
-		v := m.Mem.Read(claimed + pmem.Addr(p*m.BlockWords()))
 		status := "lost"
-		if v == 2 {
+		if results[p] == 2 {
 			status = "WON"
 			winners++
 		}
 		fmt.Printf("  proc %d: %s\n", p, status)
 	}
-	s := m.Stats.Summarize()
+	s := rt.Stats()
 	fmt.Printf("soft faults injected: %d (capsules replayed %d times)\n", s.SoftFaults, s.Restarts)
 	if winners == 1 {
 		fmt.Println("exactly one winner despite faults and races: the CAM capsule is atomically idempotent")

@@ -4,7 +4,9 @@
 // instruction per capsule, registers double-buffered in persistent memory.
 //
 // The same fibonacci program runs at increasing fault rates; the answer
-// never changes, only the total work (the 1/(1-kf) expected blow-up).
+// never changes, only the total work (the 1/(1-kf) expected blow-up). The
+// machines come from the public ppm API; the RAM simulation itself is an
+// internal subsystem reached through Runtime.Machine.
 //
 //	go run ./examples/checkpointless
 package main
@@ -12,9 +14,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/fault"
-	"repro/internal/machine"
 	"repro/internal/simram"
+	"repro/ppm"
 )
 
 func main() {
@@ -27,16 +28,12 @@ func main() {
 	fmt.Printf("%8s %14s %12s %10s\n", "f", "result", "Wf", "Wf/step")
 
 	for _, f := range []float64{0, 0.001, 0.01, 0.05, 0.10} {
-		var inj fault.Injector = fault.NoFaults{}
-		if f > 0 {
-			inj = fault.NewIID(1, f, 7)
-		}
-		m := machine.New(machine.Config{P: 1, Injector: inj})
-		sim := simram.New(m, fmt.Sprintf("fib-%v", f), prog, 2)
+		rt := ppm.New(ppm.WithFaultRate(f), ppm.WithSeed(7))
+		sim := simram.New(rt.Machine(), fmt.Sprintf("fib-%v", f), prog, 2)
 		sim.Install(0)
-		m.Run()
+		rt.Machine().Run()
 		regs := sim.Regs()
-		s := m.Stats.Summarize()
+		s := rt.Stats()
 		fmt.Printf("%8.3f %14d %12d %10.1f\n",
 			f, regs[0], s.Work, float64(s.Work)/float64(steps))
 	}

@@ -3,16 +3,17 @@
 // still producing the exact answer, thanks to idempotent capsules and the
 // fault-tolerant work-stealing scheduler.
 //
+// The program is written entirely against the public ppm API: typed capsule
+// arguments, Array instead of address arithmetic, and ForkThen instead of
+// hand-wired join cells.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/algos/blockio"
-	"repro/internal/capsule"
-	"repro/internal/core"
-	"repro/internal/pmem"
+	"repro/ppm"
 )
 
 func main() {
@@ -21,63 +22,61 @@ func main() {
 		leaf = 64   // sequential base case
 	)
 
-	rt := core.New(core.Config{
-		P:         4,
-		FaultRate: 0.01,                   // 1% chance of losing all volatile state per memory access
-		DieAt:     map[int]int64{2: 1000}, // processor 2 dies for good mid-run
-		Seed:      42,
-		Check:     true, // verify write-after-read conflict freedom as we go
-	})
-	m := rt.Machine
+	rt := ppm.New(
+		ppm.WithProcs(4),
+		ppm.WithFaultRate(0.01),   // 1% chance of losing all volatile state per memory access
+		ppm.WithHardFault(0, 800), // the processor running the root dies for good mid-run
+		ppm.WithSeed(42),
+		ppm.WithWARCheck(), // verify write-after-read conflict freedom as we go
+	)
 
-	in := m.HeapAllocBlocks(n)
+	in := rt.NewArray(n)
+	vals := make([]uint64, n)
 	var want uint64
-	for i := 0; i < n; i++ {
-		m.Mem.Write(in+pmem.Addr(i), uint64(i))
+	for i := range vals {
+		vals[i] = uint64(i)
 		want += uint64(i)
 	}
-	out := m.HeapAllocBlocks(1)
+	in.Load(vals)
+	out := rt.NewArray(1)
 
-	b := m.BlockWords()
-	var sumFid, combineFid capsule.FuncID
-	combineFid = m.Registry.Register("combine", func(e capsule.Env) {
-		l := e.Read(pmem.Addr(e.Arg(0)))
-		r := e.Read(pmem.Addr(e.Arg(1)))
-		e.Write(pmem.Addr(e.Arg(2)), l+r)
-		rt.FJ.TaskDone(e)
+	combine := rt.Register("combine", func(c ppm.Ctx) {
+		l := c.Read(c.Addr(0))
+		r := c.Read(c.Addr(1))
+		c.Write(c.Addr(2), l+r)
+		c.Done()
 	})
-	sumFid = m.Registry.Register("sum", func(e capsule.Env) {
-		lo, hi, dst := int(e.Arg(0)), int(e.Arg(1)), pmem.Addr(e.Arg(2))
+	var sum ppm.FuncRef
+	sum = rt.Register("sum", func(c ppm.Ctx) {
+		lo, hi, dst := c.Int(0), c.Int(1), c.Addr(2)
 		if hi-lo <= leaf {
 			var acc uint64
-			blockio.ReadRange(e, b, in, lo, hi, func(_ int, v uint64) { acc += v })
-			e.Write(dst, acc)
-			rt.FJ.TaskDone(e)
+			in.Range(c, lo, hi, func(_ int, v uint64) { acc += v })
+			c.Write(dst, acc)
+			c.Done()
 			return
 		}
 		mid := (lo + hi) / 2
-		slots := e.Alloc(2)
-		cmb := e.NewClosure(combineFid, e.Cont(),
-			uint64(slots), uint64(slots+1), uint64(dst))
-		rt.FJ.Fork2(e,
-			sumFid, []uint64{uint64(lo), uint64(mid), uint64(slots)},
-			sumFid, []uint64{uint64(mid), uint64(hi), uint64(slots + 1)},
-			cmb)
+		slots := c.Alloc(2)
+		c.ForkThen(
+			sum.Call(lo, mid, slots.At(0)),
+			sum.Call(mid, hi, slots.At(1)),
+			combine.Call(slots.At(0), slots.At(1), dst))
 	})
 
-	if !rt.Run(sumFid, 0, n, uint64(out)) {
+	if !rt.Run(sum, 0, n, out.At(0)) {
 		fmt.Println("FATAL: every processor died before completion")
 		return
 	}
-	got := m.Mem.Read(out)
+	got := out.Snapshot()[0]
 	s := rt.Stats()
 	fmt.Printf("sum(0..%d) = %d (expected %d) — %s\n", n-1, got,
 		want, map[bool]string{true: "CORRECT", false: "WRONG"}[got == want])
-	fmt.Printf("processors: %d (1 hard-faulted mid-run)\n", s.P)
+	fmt.Printf("processors: %d (%d hard-faulted mid-run)\n", s.P, s.Dead)
 	fmt.Printf("soft faults injected: %d, capsule restarts: %d\n", s.SoftFaults, s.Restarts)
 	fmt.Printf("total work Wf = %d transfers (faultless W would be less); steals = %d\n",
 		s.Work, s.Steals)
-	if v := m.WARViolations(); len(v) > 0 {
+	if v := rt.WARViolations(); len(v) > 0 {
 		fmt.Printf("WAR violations (should be none!): %v\n", v)
 	} else {
 		fmt.Println("write-after-read conflict freedom verified: all capsules idempotent")

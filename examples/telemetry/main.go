@@ -3,9 +3,10 @@
 // persistent memory, small volatile state, processors that can drop out at
 // any time.
 //
-// The example runs the Theorem 7.3 samplesort and the baseline mergesort on
-// the same faulty machine configuration and reports both the (identical)
-// results and the work each algorithm spent.
+// The example drives the Theorem 7.3 samplesort and the baseline mergesort
+// through the uniform ppm.Algorithm interface on the same faulty machine
+// configuration, and reports the (identical, verified) results and the work
+// each algorithm spent.
 //
 //	go run ./examples/telemetry
 package main
@@ -13,9 +14,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/algos/sort"
-	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/ppm"
 )
 
 func main() {
@@ -29,51 +29,40 @@ func main() {
 	}
 	x.Shuffle(readings)
 
-	run := func(name string, sample bool) []uint64 {
-		rt := core.New(core.Config{
-			P:         4,
-			FaultRate: 0.002,
-			DieAt:     map[int]int64{3: 5000}, // one node dies mid-batch
-			Seed:      99,
-			EphWords:  1 << 13,
-			MemWords:  1 << 24,
-		})
-		var out func() []uint64
-		var ok bool
-		if sample {
-			ss := sort.NewSampleSort(rt.Machine, rt.FJ, "telemetry", n, 1024)
-			ss.LoadInput(readings)
-			ok = ss.Run()
-			out = ss.Output
-		} else {
-			ms := sort.NewMergeSort(rt.Machine, rt.FJ, "telemetry", n, 1024)
-			ms.LoadInput(readings)
-			ok = ms.Run()
-			out = ms.Output
-		}
-		if !ok {
-			fmt.Printf("%s: cluster lost\n", name)
+	run := func(algo ppm.Algorithm) []uint64 {
+		rt := ppm.New(
+			ppm.WithProcs(4),
+			ppm.WithFaultRate(0.002),
+			ppm.WithHardFault(0, 5000), // one node dies mid-batch
+			ppm.WithSeed(99),
+			ppm.WithEphWords(1<<13),
+			ppm.WithMemWords(1<<24),
+		)
+		algo.Build(rt)
+		if !algo.Run() {
+			fmt.Printf("%s: cluster lost\n", algo.Name())
 			return nil
 		}
+		status := "exact"
+		if err := algo.Verify(); err != nil {
+			status = err.Error()
+		}
 		s := rt.Stats()
-		fmt.Printf("%-11s sorted %d readings | algorithm work W=%d, total Wf=%d, faults=%d, steals=%d, dead=%d\n",
-			name+":", n, s.UserWork, s.Work, s.SoftFaults, s.Steals, s.Dead)
-		return out()
+		fmt.Printf("%-22s sorted %d readings (%s) | algorithm work W=%d, total Wf=%d, faults=%d, steals=%d, dead=%d\n",
+			algo.Name()+":", n, status, s.UserWork, s.Work, s.SoftFaults, s.Steals, s.Dead)
+		return algo.Output()
 	}
 
-	bySample := run("samplesort", true)
-	byMerge := run("mergesort", false)
+	bySample := run(ppm.SampleSort("telemetry", readings, 1024))
+	byMerge := run(ppm.MergeSort("telemetry", readings, 1024))
 
-	want := sort.Sequential(readings)
-	okS, okM := true, true
-	for i := range want {
-		if bySample[i] != want[i] {
-			okS = false
-		}
-		if byMerge[i] != want[i] {
-			okM = false
+	same := bySample != nil && byMerge != nil && len(bySample) == len(byMerge)
+	for i := range bySample {
+		if !same || bySample[i] != byMerge[i] {
+			same = false
+			break
 		}
 	}
-	fmt.Printf("samplesort correct: %v, mergesort correct: %v\n", okS, okM)
+	fmt.Printf("samplesort and mergesort outputs identical: %v\n", same)
 	fmt.Println("(same machine, same faults, same dead node — both exactly right)")
 }

@@ -120,6 +120,27 @@ type Env interface {
 	// Halt ends this processor's run loop after the current capsule.
 	Halt()
 
+	// StealScratch redirects the chain's bump allocator into the executing
+	// processor's bounded steal-scratch arena, so an idle steal loop reuses
+	// a constant amount of pool memory instead of leaking closures forever.
+	// The arena has two halves used alternately: each call targets the half
+	// NOT holding the current closure, so a replayed capsule always finds
+	// its own closure (and the rest of the previous attempt's chain)
+	// intact. On first entry from a durable chain the call parks that
+	// chain's allocation cursor in persistent memory, where Adopt restores
+	// it when the loop finds real work; entering with a cursor inherited
+	// from a dead processor's arena (a takeover resume) carries the
+	// victim's parked cursor forward instead. Scheduler steal-loop capsules
+	// only: everything allocated while the chain sits in the arena is
+	// recycled two steal attempts later.
+	StealScratch()
+	// StealRecordSlot returns the fixed steal-record slot of the arena half
+	// holding the current closure. The slot is block-aligned, disjoint from
+	// the arena's closure region, and only ever rewritten by another steal
+	// record, which is what makes the helpers' guard-word validation sound
+	// (see sched.runHelpInspect). Deterministic under replay and takeover.
+	StealRecordSlot() pmem.Addr
+
 	// ProcID returns the executing processor's ID. Capsule code may use it
 	// only in the ways the paper's scheduler does (getProcNum).
 	ProcID() int

@@ -1,21 +1,12 @@
-// Package core is the top-level entry point of the Parallel-PM library: it
-// assembles a machine (persistent + ephemeral memories, fault injection), the
-// fault-tolerant work-stealing scheduler of Section 6, and the fork-join
-// runtime of Section 4 into one object with a small configuration surface.
+// Package core assembles a machine (persistent + ephemeral memories, fault
+// injection), the fault-tolerant work-stealing scheduler of Section 6, and
+// the fork-join runtime of Section 4 into one object.
 //
-// A minimal program:
-//
-//	rt := core.New(core.Config{P: 4, FaultRate: 0.001, Seed: 1})
-//	out := rt.Machine.HeapAllocBlocks(1)
-//	leaf := rt.Machine.Registry.Register("answer", func(e capsule.Env) {
-//	    e.Write(out, 42)
-//	    rt.FJ.TaskDone(e)
-//	})
-//	rt.Run(leaf)                 // executes under faults, exactly once
-//	v := rt.Machine.Mem.Read(out)
-//
-// Richer workloads use FJ.Fork2 / FJ.ParallelFor inside capsule functions;
-// the packages under internal/algos show complete algorithms.
+// It is internal wiring: the supported entry point for programs is the
+// top-level ppm package, which wraps this assembly behind functional
+// options, typed capsule contexts, and the Algorithm catalog. New code
+// should use ppm.New rather than core.New; core remains the single place
+// where the layers are composed, shared by ppm and the internal harnesses.
 package core
 
 import (

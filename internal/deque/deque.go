@@ -9,8 +9,8 @@
 //	local  — the thread the owner is currently running (stealable only
 //	         when the owner has hard-faulted),
 //	job    — an enabled thread, holding its closure address,
-//	taken  — stolen or mid-steal, holding a pointer to a two-word steal
-//	         record {thief entry address, thief entry tag}.
+//	taken  — stolen or mid-steal, holding a pointer to a steal record
+//	         {thief entry address, thief entry tag, guard word}.
 //
 // Entries pack into a single word — tag | state | payload — so every
 // transition is one CAM. Tags defeat ABA when entries are reused. Each entry
@@ -224,5 +224,24 @@ func ValidTransition(old, new uint64) bool {
 	return false
 }
 
-// RecordWords is the size of a steal record: {thief entry address, tag}.
-const RecordWords = 2
+// Steal-record layout (word offsets from the record base). Records live in
+// fixed per-arena-half slots that only ever hold records (package machine),
+// so a slot reuse is always a record-over-record rewrite. The pair of check
+// words — the victim entry's address and the exact taken word published
+// there — identifies one steal instance uniquely: entry tags are monotone,
+// so a given word occurs at a given entry at most once. (The word alone is
+// NOT unique with fixed record slots: two steals from the same half against
+// different entries whose tags collide publish identical words.) Writers
+// store both check words before the receiving-entry words; a reader that
+// loads entry and tag and THEN sees both check words still matching the
+// entry it is helping knows all its loads came from that steal's record and
+// not a later occupant of the slot.
+const (
+	RecEntry  = 0 // thief's receiving entry address
+	RecTag    = 1 // thief's receiving entry tag
+	RecGuard  = 2 // check word: taken entry word this record was published under
+	RecVictim = 3 // check word: address of the victim entry it was published at
+	// RecordWords is the size of a steal record; the machine sizes the
+	// per-arena-half record slots from the same constant.
+	RecordWords = machine.StealRecordWords
+)

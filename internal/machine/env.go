@@ -125,6 +125,19 @@ func (p *Proc) Alloc(n int) pmem.Addr {
 	}
 	a := p.allocPtr
 	p.allocPtr += pmem.Addr(n)
+	// Inside a steal-arena half the budget is one half, not the pool: a
+	// steal attempt that overruns it would silently clobber the sibling
+	// half the chain still depends on. Closure allocations may not start in
+	// a half's record area either — that would let an exact-fit overrun of
+	// the previous half spill silently onto a record a helper may be
+	// reading.
+	if q, h, ok := p.m.stealArenaHalf(a); ok {
+		half := p.m.procs[q].stealHalf[h]
+		if a < half+p.m.stealRecArea || p.allocPtr > half+p.m.stealHalfSize {
+			panic(fmt.Sprintf("machine: steal-arena half of proc %d exhausted; raise stealBodyWords", q))
+		}
+		return a
+	}
 	// The chain may legitimately be allocating from another (dead)
 	// processor's pool after a takeover; bounds-check whichever pool owns
 	// the pointer.
@@ -137,6 +150,56 @@ func (p *Proc) Alloc(n int) pmem.Addr {
 		}
 	}
 	panic(fmt.Sprintf("machine: allocation pointer %d outside any pool", a))
+}
+
+// StealScratch implements capsule.Env; see the interface comment for the
+// contract. The half choice and the parked-cursor write are deterministic in
+// the closure (base and allocation base both come from it), so replays are
+// idempotent; a takeover replay lands in the thief's own arena instead,
+// which is the same getProcNum-dynamic behaviour as the rest of the steal
+// loop.
+func (p *Proc) StealScratch() {
+	if q, h, ok := p.m.stealArenaHalf(p.base); ok && q == p.id {
+		// Steady state: this closure sits in one half; the next attempt's
+		// closures go in the other. By the time a half is reused the chain
+		// has run through its sibling, so nothing in it is live.
+		p.allocPtr = p.stealHalf[1-h] + p.m.stealRecArea
+		return
+	}
+	// Entering the loop from a durable chain — or resuming a dead
+	// processor's loop after a takeover, in which case the inherited cursor
+	// points into the victim's arena and the durable cursor the victim
+	// parked there is the one to carry forward.
+	save := p.allocPtr
+	if q, _, ok := p.m.stealArenaHalf(save); ok {
+		victim := p.m.procs[q].stealSave
+		p.checkNotInstalled()
+		p.faultPoint()
+		save = pmem.Addr(p.m.Mem.Read(victim))
+		p.ctr.ExtReads.Add(1)
+		p.capsWork++
+		p.war.OnRead(p.m.Mem.BlockOf(victim))
+	}
+	p.checkNotInstalled()
+	p.faultPoint()
+	p.m.Mem.Write(p.stealSave, uint64(save))
+	p.ctr.ExtWrites.Add(1)
+	p.capsWork++
+	if p.war.OnWrite(p.m.Mem.BlockOf(p.stealSave)) {
+		p.m.recordWAR(p.id, p.m.Registry.Name(p.fid), p.war.Violations()[len(p.war.Violations())-1])
+	}
+	p.allocPtr = p.stealHalf[0] + p.m.stealRecArea
+}
+
+// StealRecordSlot implements capsule.Env.
+func (p *Proc) StealRecordSlot() pmem.Addr {
+	if q, h, ok := p.m.stealArenaHalf(p.base); ok {
+		return p.m.procs[q].stealHalf[h]
+	}
+	// Unreachable in the current scheduler (grab capsules always run inside
+	// an arena half), but fall back to a never-recycled chain allocation
+	// rather than corrupting a record slot.
+	return p.Alloc(StealRecordWords)
 }
 
 // NewClosure implements capsule.Env.
@@ -236,6 +299,19 @@ func (p *Proc) Adopt(job pmem.Addr) {
 	p.capsWork += blocks
 	for blk := int(job) / b; blk <= int(job+pmem.Addr(n-1))/b; blk++ {
 		p.war.OnRead(blk)
+	}
+
+	// Leaving the steal loop with real work: restore the durable cursor
+	// parked at loop entry (by this processor, or by the dead victim whose
+	// loop this chain resumed), so the adopted thread's allocations never
+	// land in a recycled arena half.
+	if q, _, ok := p.m.stealArenaHalf(p.allocPtr); ok {
+		sv := p.m.procs[q].stealSave
+		p.faultPoint()
+		p.allocPtr = pmem.Addr(p.m.Mem.Read(sv))
+		p.ctr.ExtReads.Add(1)
+		p.capsWork++
+		p.war.OnRead(p.m.Mem.BlockOf(sv))
 	}
 
 	base := p.Alloc(n)

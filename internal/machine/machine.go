@@ -32,6 +32,17 @@ const HaltWord = uint64(math.MaxUint64)
 // pointers (used by the scheduler for the done flag, root result, etc.).
 const NumCtrl = 8
 
+// StealRecordWords is the size of a steal record in words; the scheduler's
+// record layout (deque.RecordWords) mirrors it.
+const StealRecordWords = 4
+
+// stealBodyWords is the closure budget of one steal-arena half — an upper
+// bound on the words one steal attempt (runSteal through the next runSteal)
+// allocates. The worst chain (steal -> help -> inspect -> grabLocal -> help
+// -> takenLocal-miss) stays under 64 words; the slack guards refactors, and
+// Alloc panics loudly if an attempt ever crosses a half boundary.
+const stealBodyWords = 192
+
 // Config describes a machine instance.
 type Config struct {
 	P          int   // number of processors
@@ -82,6 +93,12 @@ type Machine struct {
 	procs    []*Proc
 	poolBase []pmem.Addr // per-proc pool start
 	poolEnd  []pmem.Addr
+
+	// Steal-arena geometry, identical for every processor: each half opens
+	// with stealRecArea words (the block-aligned steal-record slot) followed
+	// by the closure region, stealHalfSize words in total.
+	stealRecArea  pmem.Addr
+	stealHalfSize pmem.Addr
 	setupCur []pmem.Addr // setup-time allocation cursor per pool
 	heapCur  pmem.Addr   // setup-time cursor for the shared user heap
 	heapEnd  pmem.Addr
@@ -153,6 +170,8 @@ func New(cfg Config) *Machine {
 		Stats:    stats.New(cfg.P),
 		Live:     fault.NewLiveness(cfg.P),
 	}
+	m.stealRecArea = m.alignBlock(StealRecordWords)
+	m.stealHalfSize = m.stealRecArea + m.alignBlock(stealBodyWords)
 	cur := pmem.Addr(1 + cfg.P + NumCtrl)
 	cur = m.alignBlock(cur)
 	m.poolBase = make([]pmem.Addr, cfg.P)
@@ -184,6 +203,25 @@ func New(cfg Config) *Machine {
 func (m *Machine) alignBlock(a pmem.Addr) pmem.Addr {
 	b := pmem.Addr(m.cfg.BlockWords)
 	return (a + b - 1) / b * b
+}
+
+// stealArenaHalf resolves which processor's steal arena, and which of its
+// two halves, contains address a. O(1): pools are contiguous and equal-sized,
+// so the owning processor follows from address arithmetic — this runs on
+// every Alloc and must not scan.
+func (m *Machine) stealArenaHalf(a pmem.Addr) (proc, half int, ok bool) {
+	if a < m.poolBase[0] || a >= m.poolEnd[m.cfg.P-1] {
+		return 0, 0, false
+	}
+	q := int((a - m.poolBase[0]) / pmem.Addr(m.cfg.PoolWords))
+	p := m.procs[q]
+	if a < p.stealHalf[0] || a >= p.stealHalf[1]+m.stealHalfSize {
+		return 0, 0, false
+	}
+	if a < p.stealHalf[1] {
+		return q, 0, true
+	}
+	return q, 1, true
 }
 
 // P returns the number of processors.

@@ -43,6 +43,15 @@ type Proc struct {
 	// (the paper's two-closure swap for persistent loops, §4.1).
 	selfSlots [2]pmem.Addr
 
+	// stealSave and stealHalf implement the bounded steal-scratch arena (see
+	// capsule.Env.StealScratch): stealSave parks the durable chain cursor
+	// while the scheduler's steal loop runs; stealHalf are the two
+	// alternately recycled halves the loop's closures live in. Each half
+	// starts with a block-aligned steal-record slot; closures begin at
+	// stealHalf[i] + m.stealRecArea.
+	stealSave pmem.Addr
+	stealHalf [2]pmem.Addr
+
 	lastBase pmem.Addr // for distinguishing restarts from fresh capsules
 	retrying bool
 }
@@ -61,6 +70,16 @@ func newProc(m *Machine, id int, seed uint64) *Proc {
 	m.setupCur[id] += capsule.MaxWords
 	p.selfSlots[1] = m.setupCur[id]
 	m.setupCur[id] += capsule.MaxWords
+	// Reserve the steal-scratch arena: the parked-cursor word, then two
+	// block-aligned halves of stealHalfSize words each.
+	p.stealSave = m.setupCur[id]
+	p.stealHalf[0] = m.alignBlock(p.stealSave + 1)
+	p.stealHalf[1] = p.stealHalf[0] + m.stealHalfSize
+	m.setupCur[id] = p.stealHalf[1] + m.stealHalfSize
+	if m.setupCur[id] > m.poolEnd[id] {
+		panic(fmt.Sprintf("machine: PoolWords (%d) too small for the InstallSelf slots and steal arena; need at least %d",
+			m.cfg.PoolWords, m.setupCur[id]-m.poolBase[id]))
+	}
 	return p
 }
 

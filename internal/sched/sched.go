@@ -193,11 +193,18 @@ func (s *Scheduler) runPopBottom(e capsule.Env) {
 // popTop: help first (Figure 3 line 33), then inspect. The victim choice is
 // volatile randomness — this capsule writes nothing but fresh closures, so
 // replaying with a different victim is harmless.
+//
+// StealScratch bounds the loop's memory: every attempt's closures (and its
+// steal record, see runGrab) live in one half of the processor's scratch
+// arena, recycled two attempts later, so an idle processor no longer
+// consumes its pool. The durable chain cursor is parked on entry and
+// restored by Adopt when the loop lands real work.
 func (s *Scheduler) runSteal(e capsule.Env) {
 	if e.Read(s.m.CtrlAddr(ctrlDone)) == 1 {
 		e.Halt()
 		return
 	}
+	e.StealScratch()
 	victim := int(e.Rand() % uint64(e.NumProcs()))
 	e.NoteStealTry()
 	cont := e.NewClosure(s.fwInspect, pmem.Nil, uint64(victim))
@@ -233,6 +240,17 @@ func (s *Scheduler) runInspect(e capsule.Env) {
 			e.Install(e.NewClosure(s.fwSteal, pmem.Nil))
 			return
 		}
+		// `old` was read before the liveness check. A long stall between
+		// the two reads can make a snapshot from BEFORE the victim's later
+		// pushes look like its final local entry, and runGrabLocal's blind
+		// pre-clear of the entry above would then wipe a live job. Re-read
+		// after observing death: tags are monotone, so an unchanged word
+		// really is the victim's final state (the victim can no longer
+		// push, and any concurrent thief transition bumps the tag).
+		if e.Read(s.l.EntryAddr(victim, int(t))) != old {
+			e.Install(e.NewClosure(s.fwSteal, pmem.Nil))
+			return
+		}
 		if int(t)+1 >= s.l.Entries {
 			panic(fmt.Sprintf("sched: deque %d overflow during local steal", victim))
 		}
@@ -246,18 +264,25 @@ func (s *Scheduler) runInspect(e capsule.Env) {
 	}
 }
 
-// runGrab: the steal CAM for a job entry. Writes the steal record (fresh
-// words; deterministic on replay), CAMs the victim entry to taken, then
-// helps and checks. Args: [victim, t, old, myEntry, c].
+// runGrab: the steal CAM for a job entry. Writes the steal record into the
+// arena half's fixed slot (deterministic on replay and takeover), CAMs the
+// victim entry to taken, then helps and checks. The two check words are
+// written FIRST: a later record recycling the slot invalidates them before
+// it can change the receiving-entry words, which is what lets a helper
+// holding a stale entry word detect the reuse (see runHelpInspect).
+// Args: [victim, t, old, myEntry, c].
 func (s *Scheduler) runGrab(e capsule.Env) {
 	victim, t, old := int(e.Arg(0)), e.Arg(1), e.Arg(2)
 	myEntry, c := e.Arg(3), e.Arg(4)
 
-	rec := e.Alloc(deque.RecordWords)
-	e.Write(rec, myEntry)
-	e.Write(rec+1, c)
+	rec := e.StealRecordSlot()
+	entry := s.l.EntryAddr(victim, int(t))
 	newWord := deque.Bump(old, deque.Taken, uint64(rec))
-	e.CAM(s.l.EntryAddr(victim, int(t)), old, newWord)
+	e.Write(rec+deque.RecGuard, newWord)
+	e.Write(rec+deque.RecVictim, uint64(entry))
+	e.Write(rec+deque.RecEntry, myEntry)
+	e.Write(rec+deque.RecTag, c)
+	e.CAM(entry, old, newWord)
 
 	f := deque.Payload(old)
 	cont := e.NewClosure(s.fwTaken, pmem.Nil, uint64(victim), t, newWord, f)
@@ -285,12 +310,15 @@ func (s *Scheduler) runGrabLocal(e capsule.Env) {
 	victim, t, old := int(e.Arg(0)), e.Arg(1), e.Arg(2)
 	myEntry, c, s2 := e.Arg(3), e.Arg(4), e.Arg(5)
 
-	rec := e.Alloc(deque.RecordWords)
-	e.Write(rec, myEntry)
-	e.Write(rec+1, c)
-	e.Write(s.l.EntryAddr(victim, int(t)+1), deque.Pack(s2+1, deque.Empty, 0))
+	rec := e.StealRecordSlot()
+	entry := s.l.EntryAddr(victim, int(t))
 	newWord := deque.Bump(old, deque.Taken, uint64(rec))
-	e.CAM(s.l.EntryAddr(victim, int(t)), old, newWord)
+	e.Write(rec+deque.RecGuard, newWord)
+	e.Write(rec+deque.RecVictim, uint64(entry))
+	e.Write(rec+deque.RecEntry, myEntry)
+	e.Write(rec+deque.RecTag, c)
+	e.Write(s.l.EntryAddr(victim, int(t)+1), deque.Pack(s2+1, deque.Empty, 0))
+	e.CAM(entry, old, newWord)
 
 	cont := e.NewClosure(s.fwTakenLoc, pmem.Nil, uint64(victim), t, newWord)
 	e.Install(e.NewClosure(s.helpInspect, cont, uint64(victim)))
@@ -336,8 +364,19 @@ func (s *Scheduler) runHelpInspect(e capsule.Env) {
 		return
 	}
 	rec := pmem.Addr(deque.Payload(w))
-	ps := e.Read(rec)
-	i := e.Read(rec + 1)
+	entry := s.l.EntryAddr(victim, int(t))
+	ps := e.Read(rec + deque.RecEntry)
+	i := e.Read(rec + deque.RecTag)
+	if e.Read(rec+deque.RecVictim) != uint64(entry) || e.Read(rec+deque.RecGuard) != w {
+		// Stale record: the steal that published it completed long ago and
+		// its arena slot was recycled by a later attempt. Slots are only
+		// ever rewritten by other records, check words first, so matching
+		// check words AFTER reading entry/tag prove both belong to the
+		// steal that published w at this entry; a mismatch means that
+		// steal's help already finished — skip it.
+		e.Install(cont)
+		return
+	}
 	next := e.NewClosure(s.helpTop, cont, uint64(victim), t)
 	e.Install(e.NewClosure(s.helpEntry, next, ps, i))
 }

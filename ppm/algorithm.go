@@ -1,0 +1,243 @@
+package ppm
+
+import (
+	"fmt"
+
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/merge"
+	"repro/internal/algos/prefixsum"
+	"repro/internal/algos/sort"
+	"repro/internal/rng"
+)
+
+// Algorithm is the uniform workload interface: an instance carries its own
+// input, binds to a Runtime in Build (allocating arrays, registering
+// capsules, loading the input), executes under that runtime's fault model in
+// Run, and checks its own output against a sequential reference in Verify.
+// Benchmarks, experiments, and examples all drive workloads through this
+// one interface instead of per-algorithm adapters.
+type Algorithm interface {
+	// Name identifies the workload (unique within a runtime).
+	Name() string
+	// Build binds the instance to rt: allocate, register capsules, load
+	// input. Call at most once per runtime, before that runtime runs
+	// anything else under the same name; building again on a fresh runtime
+	// rebinds the instance (the benchmark-loop pattern).
+	Build(rt *Runtime)
+	// Run executes the workload on rt's scheduler. It returns false if
+	// every processor died before completion.
+	Run() bool
+	// Output returns the result array (harness-side read).
+	Output() []uint64
+	// Verify checks Output against a sequential reference implementation.
+	Verify() error
+}
+
+func verifyWords(name string, got, want []uint64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: output length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: output[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// ---- prefix sum (Theorem 7.1) ----
+
+type prefixSumAlgo struct {
+	tag  string
+	leaf int
+	in   []uint64
+	ps   *prefixsum.PS
+}
+
+// PrefixSum builds a Theorem 7.1 inclusive prefix sum over input. leaf is
+// the sequential base-case size; 0 selects the work-optimal block size B.
+func PrefixSum(tag string, input []uint64, leaf int) Algorithm {
+	return &prefixSumAlgo{tag: tag, leaf: leaf, in: input}
+}
+
+func (a *prefixSumAlgo) Name() string { return "prefixsum/" + a.tag }
+func (a *prefixSumAlgo) Build(rt *Runtime) {
+	a.ps = prefixsum.Build(rt.Machine(), rt.forkJoin(), a.tag, len(a.in), a.leaf)
+	a.ps.LoadInput(a.in)
+}
+func (a *prefixSumAlgo) Run() bool        { return a.ps.Run() }
+func (a *prefixSumAlgo) Output() []uint64 { return a.ps.Output() }
+func (a *prefixSumAlgo) Verify() error {
+	return verifyWords(a.Name(), a.Output(), prefixsum.Sequential(a.in))
+}
+
+// ---- merge (Theorem 7.2) ----
+
+type mergeAlgo struct {
+	tag  string
+	a, b []uint64
+	mg   *merge.M
+}
+
+// Merge builds a Theorem 7.2 parallel merge of two sorted inputs.
+func Merge(tag string, a, b []uint64) Algorithm {
+	return &mergeAlgo{tag: tag, a: a, b: b}
+}
+
+func (m *mergeAlgo) Name() string { return "merge/" + m.tag }
+func (m *mergeAlgo) Build(rt *Runtime) {
+	m.mg = merge.Build(rt.Machine(), rt.forkJoin(), m.tag, len(m.a), len(m.b), 0)
+	m.mg.LoadInputs(m.a, m.b)
+}
+func (m *mergeAlgo) Run() bool        { return m.mg.Run() }
+func (m *mergeAlgo) Output() []uint64 { return m.mg.Output() }
+func (m *mergeAlgo) Verify() error {
+	return verifyWords(m.Name(), m.Output(), merge.Sequential(m.a, m.b))
+}
+
+// ---- sorts (Theorem 7.3) ----
+
+type sortAlgo struct {
+	tag    string
+	sample bool
+	mWords int
+	in     []uint64
+	run    func() bool
+	out    func() []uint64
+}
+
+// MergeSort builds the baseline multi-way external merge sort; mWords is
+// the ephemeral-memory budget M driving its fan-in.
+func MergeSort(tag string, input []uint64, mWords int) Algorithm {
+	return &sortAlgo{tag: tag, sample: false, mWords: mWords, in: input}
+}
+
+// SampleSort builds the Theorem 7.3 work-optimal sample sort; mWords is the
+// ephemeral-memory budget M (requires M > B² and n ≤ M²/B).
+func SampleSort(tag string, input []uint64, mWords int) Algorithm {
+	return &sortAlgo{tag: tag, sample: true, mWords: mWords, in: input}
+}
+
+func (s *sortAlgo) Name() string {
+	if s.sample {
+		return "samplesort/" + s.tag
+	}
+	return "mergesort/" + s.tag
+}
+func (s *sortAlgo) Build(rt *Runtime) {
+	if s.sample {
+		ss := sort.NewSampleSort(rt.Machine(), rt.forkJoin(), s.tag, len(s.in), s.mWords)
+		ss.LoadInput(s.in)
+		s.run, s.out = ss.Run, ss.Output
+	} else {
+		ms := sort.NewMergeSort(rt.Machine(), rt.forkJoin(), s.tag, len(s.in), s.mWords)
+		ms.LoadInput(s.in)
+		s.run, s.out = ms.Run, ms.Output
+	}
+}
+func (s *sortAlgo) Run() bool        { return s.run() }
+func (s *sortAlgo) Output() []uint64 { return s.out() }
+func (s *sortAlgo) Verify() error {
+	return verifyWords(s.Name(), s.Output(), sort.Sequential(s.in))
+}
+
+// ---- matrix multiply (Theorem 7.4) ----
+
+type matMulAlgo struct {
+	tag  string
+	dim  int
+	base int
+	a, b []uint64
+	mm   *matmul.MM
+}
+
+// MatMul builds the Theorem 7.4 recursive matrix multiply of two dim×dim
+// matrices (row-major). base is the leaf tile size, playing √M in the
+// W = O(n³/(B√M)) bound.
+func MatMul(tag string, dim, base int, a, b []uint64) Algorithm {
+	return &matMulAlgo{tag: tag, dim: dim, base: base, a: a, b: b}
+}
+
+func (m *matMulAlgo) Name() string { return "matmul/" + m.tag }
+func (m *matMulAlgo) Build(rt *Runtime) {
+	m.mm = matmul.Build(rt.Machine(), rt.forkJoin(), m.tag, m.dim, m.base, 1<<20)
+	m.mm.LoadInputs(m.a, m.b)
+}
+func (m *matMulAlgo) Run() bool        { return m.mm.Run() }
+func (m *matMulAlgo) Output() []uint64 { return m.mm.Output() }
+func (m *matMulAlgo) Verify() error {
+	return verifyWords(m.Name(), m.Output(), matmul.Native(m.a, m.b, m.dim))
+}
+
+// ---- catalog ----
+
+// Spec is a catalog entry: a named factory producing a self-contained
+// instance (pseudo-random input of the requested size) plus the default
+// size the root benchmarks use.
+type Spec struct {
+	Name string
+	// BenchN is the default problem size (elements, or matrix dimension
+	// for matmul).
+	BenchN int
+	// New builds an instance over a seeded pseudo-random input of size n.
+	New func(tag string, n int, seed uint64) Algorithm
+}
+
+// Catalog returns the standard workload registry — one uniform entry per
+// Section 7 algorithm. Experiments and benchmarks iterate this instead of
+// wiring each algorithm by hand.
+func Catalog() []Spec {
+	return []Spec{
+		{Name: "prefixsum", BenchN: 1 << 13, New: func(tag string, n int, seed uint64) Algorithm {
+			return PrefixSum(tag, randWords(n, seed, 1000), 0)
+		}},
+		{Name: "merge", BenchN: 1 << 13, New: func(tag string, n int, seed uint64) Algorithm {
+			return Merge(tag, SortedInput(n/2, seed), SortedInput(n-n/2, seed+1))
+		}},
+		{Name: "mergesort", BenchN: 1 << 13, New: func(tag string, n int, seed uint64) Algorithm {
+			return MergeSort(tag, randWords(n, seed, 1_000_000), 1024)
+		}},
+		{Name: "samplesort", BenchN: 1 << 13, New: func(tag string, n int, seed uint64) Algorithm {
+			return SampleSort(tag, randWords(n, seed, 1_000_000), 1024)
+		}},
+		{Name: "matmul", BenchN: 32, New: func(tag string, n int, seed uint64) Algorithm {
+			base := 8
+			if base > n {
+				base = n
+			}
+			return MatMul(tag, n, base, randWords(n*n, seed, 10), randWords(n*n, seed+1, 10))
+		}},
+	}
+}
+
+// NewByName builds a catalog instance by workload name.
+func NewByName(name, tag string, n int, seed uint64) (Algorithm, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s.New(tag, n, seed), true
+		}
+	}
+	return nil, false
+}
+
+// SortedInput generates n non-decreasing pseudo-random keys — staged input
+// for merge-style workloads.
+func SortedInput(n int, seed uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	out := make([]uint64, n)
+	var acc uint64
+	for i := range out {
+		acc += x.Next() % 64
+		out[i] = acc
+	}
+	return out
+}
+
+func randWords(n int, seed, mod uint64) []uint64 {
+	x := rng.NewXoshiro256(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = x.Next() % mod
+	}
+	return out
+}

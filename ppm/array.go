@@ -1,0 +1,98 @@
+package ppm
+
+import (
+	"repro/internal/algos/blockio"
+)
+
+// Array is a typed view of a region of persistent memory: n elements of one
+// word each, element i at At(i). It replaces manual base-plus-offset address
+// arithmetic in programs. Load and Snapshot are harness-side (zero-cost)
+// bulk accessors for staging inputs and reading results; Get, Set, Range,
+// and SetRange are the capsule-side accessors, charged block transfers like
+// any other persistent access.
+type Array struct {
+	rt     *Runtime
+	base   Addr
+	n      int
+	stride int // words between consecutive elements
+}
+
+// NewArray allocates a block-aligned persistent array of n words from the
+// shared heap at setup time.
+func (r *Runtime) NewArray(n int) Array {
+	return Array{rt: r, base: r.rt.Machine.HeapAllocBlocks(n), n: n, stride: 1}
+}
+
+// NewBlockArray allocates n elements spaced one block apart, so writes to
+// distinct elements land in distinct blocks. Use it for per-processor result
+// slots and other words written concurrently: write-after-read conflicts are
+// block-granular in the model.
+func (r *Runtime) NewBlockArray(n int) Array {
+	b := r.BlockWords()
+	return Array{rt: r, base: r.rt.Machine.HeapAllocBlocks(n * b), n: n, stride: b}
+}
+
+// Len returns the number of elements.
+func (a Array) Len() int { return a.n }
+
+// At returns the address of element i.
+func (a Array) At(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic("ppm: array index out of range")
+	}
+	return a.base + Addr(i*a.stride)
+}
+
+// Load bulk-writes vals into the array at setup time (harness-side, free).
+func (a Array) Load(vals []uint64) {
+	if len(vals) != a.n {
+		panic("ppm: Load length mismatch")
+	}
+	mem := a.rt.rt.Machine.Mem
+	for i, v := range vals {
+		mem.Write(a.At(i), v)
+	}
+}
+
+// Snapshot copies the array out of persistent memory (harness-side, free).
+func (a Array) Snapshot() []uint64 {
+	mem := a.rt.rt.Machine.Mem
+	out := make([]uint64, a.n)
+	for i := range out {
+		out[i] = mem.Read(a.At(i))
+	}
+	return out
+}
+
+// Get reads element i from capsule code (one block transfer).
+func (a Array) Get(c Ctx, i int) uint64 {
+	if i < 0 || i >= a.n {
+		panic("ppm: array index out of range")
+	}
+	return blockio.ReadAt(c.e, a.rt.BlockWords(), a.base, i*a.stride)
+}
+
+// Set writes element i from capsule code (one transfer).
+func (a Array) Set(c Ctx, i int, v uint64) { c.e.Write(a.At(i), v) }
+
+// Range streams elements [lo, hi) through fn using one block transfer per
+// touched block. Only for word-packed arrays (NewArray, Alloc).
+func (a Array) Range(c Ctx, lo, hi int, fn func(i int, v uint64)) {
+	a.needPacked()
+	blockio.ReadRange(c.e, a.rt.BlockWords(), a.base, lo, hi, fn)
+}
+
+// SetRange writes vals over elements [lo, lo+len(vals)): full blocks by
+// block transfer, boundary words individually, so concurrent capsules
+// sharing a boundary block never overwrite each other. Only for word-packed
+// arrays.
+func (a Array) SetRange(c Ctx, lo int, vals []uint64) {
+	a.needPacked()
+	blockio.WriteRange(c.e, a.rt.BlockWords(), a.base, lo, lo+len(vals), vals)
+}
+
+func (a Array) needPacked() {
+	if a.stride != 1 {
+		panic("ppm: Range/SetRange require a word-packed array")
+	}
+}

@@ -1,0 +1,135 @@
+package ppm
+
+import (
+	"repro/internal/capsule"
+)
+
+// Ctx is the typed view of the machine a capsule runs against. Every method
+// that touches persistent memory is a potential fault point and costs one
+// unit per block transferred; everything else is free, matching the model's
+// cost accounting. A capsule body must end with exactly one control
+// transfer: Done, Fork, ForkThen, ParallelFor, Then, or Halt.
+type Ctx struct {
+	e  capsule.Env
+	rt *Runtime
+}
+
+// ---- typed closure-argument accessors ----
+
+// Int returns closure argument i as an int.
+func (c Ctx) Int(i int) int { return int(c.e.Arg(i)) }
+
+// Uint returns closure argument i as a raw word.
+func (c Ctx) Uint(i int) uint64 { return c.e.Arg(i) }
+
+// Addr returns closure argument i as a persistent-memory address.
+func (c Ctx) Addr(i int) Addr { return Addr(c.e.Arg(i)) }
+
+// NArgs returns the number of arguments in the current closure.
+func (c Ctx) NArgs() int { return c.e.NArgs() }
+
+// ---- machine queries ----
+
+// Proc returns the executing processor's ID.
+func (c Ctx) Proc() int { return c.e.ProcID() }
+
+// Procs returns the number of processors P.
+func (c Ctx) Procs() int { return c.e.NumProcs() }
+
+// Rand returns volatile randomness. A replayed capsule may observe different
+// values, so it is only safe where the paper allows it: capsules whose
+// persistent writes are idempotent helper CAMs.
+func (c Ctx) Rand() uint64 { return c.e.Rand() }
+
+// ---- persistent memory ----
+
+// Read performs an external read of the word at a (one transfer).
+func (c Ctx) Read(a Addr) uint64 { return c.e.Read(a) }
+
+// Write performs an external write of the word at a (one transfer).
+func (c Ctx) Write(a Addr, v uint64) { c.e.Write(a, v) }
+
+// CAM is compare-and-modify: a CAS whose outcome is deliberately not
+// returned — the only safe read-modify-write under faults (Section 5).
+// Decide the outcome by reading the target in a LATER capsule.
+func (c Ctx) CAM(a Addr, old, new uint64) { c.e.CAM(a, old, new) }
+
+// Alloc bumps the capsule chain's deterministic allocator by n words and
+// returns them as an Array. Replays return the same addresses, so scratch
+// allocated here is write-after-read conflict free by construction. Fresh
+// words read as zero.
+func (c Ctx) Alloc(n int) Array {
+	return Array{rt: c.rt, base: c.e.Alloc(n), n: n, stride: 1}
+}
+
+// Raw exposes the untyped capsule environment for code that needs the full
+// machine interface (block transfers, ephemeral memory, install primitives).
+func (c Ctx) Raw() capsule.Env { return c.e }
+
+// ---- control transfer ----
+
+// Call pairs a registered function with its arguments, for Fork, ForkThen,
+// ParallelFor, Then, and Run.
+type Call struct {
+	fn   FuncRef
+	args []uint64
+}
+
+// Call builds a Call of f. Arguments may be int, uint64, Addr, bool, or
+// FuncRef; they are stored as closure words.
+func (f FuncRef) Call(args ...any) Call {
+	return Call{fn: f, args: toWords(args)}
+}
+
+// Done finishes the current task, handing control to its continuation (the
+// enclosing join, or the computation's finish). Must be the capsule's final
+// action.
+func (c Ctx) Done() { c.rt.forkJoin().TaskDone(c.e) }
+
+// Halt stops the executing processor's run loop after this capsule. Only
+// for RunOnAll-style manual chains; scheduler tasks end with Done.
+func (c Ctx) Halt() { c.e.Halt() }
+
+// Then installs next as this capsule's successor in the same thread,
+// preserving the current continuation — the sequencing idiom for multi-phase
+// capsules. Must be the capsule's final action.
+func (c Ctx) Then(next Call) {
+	c.e.Install(c.e.NewClosure(next.fn.fid, c.e.Cont(), next.args...))
+}
+
+// Fork runs left and right in parallel and, when both have finished,
+// continues with this capsule's continuation. The left child is made
+// stealable; the right child continues in the current thread. Must be the
+// capsule's final action.
+func (c Ctx) Fork(left, right Call) {
+	fj := c.rt.forkJoin()
+	fj.Fork2(c.e, left.fn.fid, left.args, right.fn.fid, right.args,
+		fj.NoopClosure(c.e, c.e.Cont()))
+}
+
+// ForkThen runs left and right in parallel; when both have finished, join
+// runs (typically combining the children's results), and the thread then
+// continues with this capsule's continuation. Must be the capsule's final
+// action.
+func (c Ctx) ForkThen(left, right, join Call) {
+	fj := c.rt.forkJoin()
+	jc := c.e.NewClosure(join.fn.fid, c.e.Cont(), join.args...)
+	fj.Fork2(c.e, left.fn.fid, left.args, right.fn.fid, right.args, jc)
+}
+
+// ParallelFor runs body over [lo, hi) as a balanced fork-join tree with at
+// most grain indices per leaf, then continues with this capsule's
+// continuation. body receives arguments [lo, hi, extra0, extra1] — a
+// sub-range plus up to two caller words — and must end with Done. Must be
+// the capsule's final action.
+func (c Ctx) ParallelFor(body FuncRef, lo, hi, grain int, extra ...any) {
+	words := toWords(extra)
+	if len(words) > 2 {
+		panic("ppm: ParallelFor carries at most two extra arguments")
+	}
+	for len(words) < 2 {
+		words = append(words, 0)
+	}
+	c.rt.forkJoin().ParallelFor(c.e, body.fid, lo, hi, grain,
+		words[0], words[1], c.e.Cont())
+}

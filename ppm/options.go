@@ -1,0 +1,127 @@
+package ppm
+
+import (
+	"repro/internal/fault"
+)
+
+// Option configures a Runtime at construction.
+type Option func(*config)
+
+type scriptedFault struct {
+	proc int
+	at   int64
+	kind fault.Kind
+}
+
+type config struct {
+	procs        int
+	blockWords   int
+	ephWords     int
+	memWords     int
+	poolWords    int
+	dequeEntries int
+	faultRate    float64
+	seed         uint64
+	warCheck     bool
+	hardAt       map[int]int64
+	scripted     []scriptedFault
+}
+
+func defaultConfig() config {
+	return config{procs: 1}
+}
+
+// WithProcs sets the number of virtual processors P (default 1).
+func WithProcs(p int) Option { return func(c *config) { c.procs = p } }
+
+// WithBlockWords sets the persistent-memory block size B in words
+// (default 8). Every block transfer costs one unit in the model.
+func WithBlockWords(b int) Option { return func(c *config) { c.blockWords = b } }
+
+// WithEphWords sets the per-processor ephemeral memory size M in words
+// (default 4096). Ephemeral state is free to access and lost on faults.
+func WithEphWords(m int) Option { return func(c *config) { c.ephWords = m } }
+
+// WithMemWords sizes the persistent memory (default: pools plus a one
+// million word heap).
+func WithMemWords(n int) Option { return func(c *config) { c.memWords = n } }
+
+// WithPoolWords sizes each processor's closure pool (default one million
+// words).
+func WithPoolWords(n int) Option { return func(c *config) { c.poolWords = n } }
+
+// WithDequeEntries sets the per-processor work-stealing deque capacity
+// (default 4096).
+func WithDequeEntries(n int) Option { return func(c *config) { c.dequeEntries = n } }
+
+// WithFaultRate sets the per-persistent-access soft-fault probability f.
+// A soft fault erases the processor's registers and ephemeral memory; the
+// runtime replays the active capsule. The model requires f < 1/(2C) for the
+// largest capsule work C, or the computation diverges.
+func WithFaultRate(f float64) Option { return func(c *config) { c.faultRate = f } }
+
+// WithHardFault schedules processor proc to fail permanently at its at-th
+// persistent access. Repeat for several processors; the scheduler's
+// takeover protocol keeps the computation exactly-once as long as one
+// processor survives.
+func WithHardFault(proc int, at int64) Option {
+	return func(c *config) {
+		if c.hardAt == nil {
+			c.hardAt = map[int]int64{}
+		}
+		c.hardAt[proc] = at
+	}
+}
+
+// WithSoftFaultAt injects one soft fault at processor proc's at-th
+// persistent access — deterministic fault placement for tests and
+// demonstrations, composable with WithFaultRate.
+func WithSoftFaultAt(proc int, at int64) Option {
+	return func(c *config) {
+		c.scripted = append(c.scripted, scriptedFault{proc: proc, at: at, kind: fault.Soft})
+	}
+}
+
+// WithSeed seeds all pseudo-randomness: fault draws and steal-victim
+// selection (default 0).
+func WithSeed(s uint64) Option { return func(c *config) { c.seed = s } }
+
+// WithWARCheck enables the write-after-read conflict checker, which flags
+// capsules whose replay would not be idempotent (Theorem 3.1). Violations
+// are reported by Runtime.WARViolations.
+func WithWARCheck() Option { return func(c *config) { c.warCheck = true } }
+
+// firstOf consults injectors in order and returns the first non-None
+// verdict. Every injector sees every access, so access-ordinal counters
+// stay aligned across them.
+type firstOf []fault.Injector
+
+func (f firstOf) At(proc int) fault.Kind {
+	verdict := fault.None
+	for _, in := range f {
+		if k := in.At(proc); k != fault.None && verdict == fault.None {
+			verdict = k
+		}
+	}
+	return verdict
+}
+
+// buildInjector assembles the fault model: IID soft faults at faultRate,
+// scheduled hard faults, and scripted one-shot faults, in that composition.
+func (c *config) buildInjector() fault.Injector {
+	var base fault.Injector = fault.NoFaults{}
+	if c.faultRate > 0 {
+		base = fault.NewIID(c.procs, c.faultRate, c.seed^0x9e3779b97f4a7c15)
+	}
+	if len(c.hardAt) > 0 {
+		base = fault.NewCombined(base, c.hardAt)
+	}
+	if len(c.scripted) > 0 {
+		s := fault.NewScript()
+		for _, f := range c.scripted {
+			s.Add(f.proc, f.at, f.kind)
+		}
+		base = firstOf{s, base}
+	}
+	return base
+}

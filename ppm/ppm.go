@@ -1,0 +1,183 @@
+// Package ppm is the public programming interface of the Parallel Persistent
+// Memory runtime (Blelloch, Gibbons, Gu, McGuffey, Shun — SPAA'18). It wraps
+// the internal machine, scheduler, and fork-join layers behind a small typed
+// surface:
+//
+//   - Runtime, built by New with functional options (WithProcs,
+//     WithFaultRate, WithHardFault, ...), owns one simulated Parallel-PM
+//     machine and its fault-tolerant work-stealing scheduler.
+//   - Func is capsule code written against Ctx, which provides typed
+//     argument accessors and hides join-cell and continuation plumbing
+//     behind Fork, ForkThen, ParallelFor, and Done.
+//   - Array is a typed persistent array replacing manual address arithmetic.
+//   - Algorithm is the uniform workload interface (Build/Run/Output/Verify)
+//     with a Catalog of the paper's Section 7 algorithms.
+//
+// A minimal program — a parallel tree sum that survives a 1% soft-fault rate
+// and one processor dying mid-run:
+//
+//	rt := ppm.New(ppm.WithProcs(4), ppm.WithFaultRate(0.01),
+//		ppm.WithHardFault(2, 1000), ppm.WithSeed(42))
+//	in := rt.NewArray(n)        // fill with in.Load(...)
+//	out := rt.NewArray(1)
+//	var sum ppm.FuncRef
+//	sum = rt.Register("sum", func(c ppm.Ctx) {
+//		lo, hi, dst := c.Int(0), c.Int(1), c.Addr(2)
+//		if hi-lo <= leaf {
+//			acc := uint64(0)
+//			in.Range(c, lo, hi, func(_ int, v uint64) { acc += v })
+//			c.Write(dst, acc)
+//			c.Done()
+//			return
+//		}
+//		mid := (lo + hi) / 2
+//		s := c.Alloc(2)
+//		c.ForkThen(
+//			sum.Call(lo, mid, s.At(0)),
+//			sum.Call(mid, hi, s.At(1)),
+//			combine.Call(s.At(0), s.At(1), dst))
+//	})
+//	rt.Run(sum, 0, n, out.At(0))
+//
+// The examples/ directory holds complete programs; the internal packages
+// remain available for harnesses that need the raw machine (see Machine).
+package ppm
+
+import (
+	"repro/internal/capsule"
+	"repro/internal/core"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+	"repro/internal/stats"
+)
+
+// Addr is a word address in the simulated persistent memory.
+type Addr = pmem.Addr
+
+// Stats summarizes the cost counters of a run (transfers, faults, restarts,
+// steals, per-processor maxima).
+type Stats = stats.Summary
+
+// Runtime is one assembled Parallel-PM system: P virtual processors over a
+// shared persistent memory, a fault injector, the fault-tolerant
+// work-stealing scheduler, and the fork-join layer.
+type Runtime struct {
+	rt *core.Runtime
+}
+
+// New assembles a runtime. With no options: one processor, no faults, block
+// size 8, and the write-after-read checker off.
+func New(opts ...Option) *Runtime {
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	rt := core.New(core.Config{
+		P:            c.procs,
+		BlockWords:   c.blockWords,
+		EphWords:     c.ephWords,
+		MemWords:     c.memWords,
+		PoolWords:    c.poolWords,
+		DequeEntries: c.dequeEntries,
+		FaultRate:    c.faultRate,
+		Seed:         c.seed,
+		Check:        c.warCheck,
+		Injector:     c.buildInjector(),
+	})
+	return &Runtime{rt: rt}
+}
+
+// Func is the body of a capsule — the unit of fault-tolerant execution. It
+// must be deterministic in its closure arguments and the persistent memory
+// it reads, and must end with exactly one control transfer (Done, Fork,
+// ForkThen, ParallelFor, Then, or Halt).
+type Func func(Ctx)
+
+// FuncRef is a handle to a registered capsule function.
+type FuncRef struct {
+	fid capsule.FuncID
+}
+
+// Register adds fn under name and returns its handle. All registration must
+// happen before the runtime runs; duplicate names panic.
+func (r *Runtime) Register(name string, fn Func) FuncRef {
+	fid := r.rt.Machine.Registry.Register(name, func(e capsule.Env) {
+		fn(Ctx{e: e, rt: r})
+	})
+	return FuncRef{fid: fid}
+}
+
+// Run executes root(args...) as the root thread on the scheduler, under the
+// configured fault model, until it completes or every processor has died.
+// It returns true if the computation completed; results written to Arrays
+// are then visible through Snapshot.
+func (r *Runtime) Run(root FuncRef, args ...any) bool {
+	return r.rt.Run(root.fid, toWords(args)...)
+}
+
+// RunOnAll starts fn(args...) independently on every processor — no
+// scheduler, no work stealing — and waits for all of them to halt or die.
+// This is the mode for protocol demonstrations (racing CAM claims, manual
+// capsule chains); each capsule chain must end with Halt.
+func (r *Runtime) RunOnAll(fn FuncRef, args ...any) {
+	m := r.rt.Machine
+	words := toWords(args)
+	for p := 0; p < m.P(); p++ {
+		m.SetRestart(p, m.BuildClosure(p, fn.fid, pmem.Nil, words...))
+	}
+	m.Run()
+}
+
+// Stats summarizes the cost counters accumulated so far.
+func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+
+// WARViolations returns the write-after-read conflicts detected so far.
+// Empty unless WithWARCheck was given.
+func (r *Runtime) WARViolations() []string { return r.rt.Machine.WARViolations() }
+
+// Procs returns the number of virtual processors P.
+func (r *Runtime) Procs() int { return r.rt.Machine.P() }
+
+// BlockWords returns the persistent-memory block size B in words.
+func (r *Runtime) BlockWords() int { return r.rt.Machine.BlockWords() }
+
+// Machine exposes the underlying machine for harnesses that drive the model
+// directly (the RAM/external-memory/cache simulations, watchers, custom
+// injectors). Typed programs should not need it.
+func (r *Runtime) Machine() *machine.Machine { return r.rt.Machine }
+
+// forkJoin gives package-internal helpers access to the fork-join layer.
+func (r *Runtime) forkJoin() *forkjoin.FJ { return r.rt.FJ }
+
+// toWords converts ergonomic argument lists to closure words. Capsule
+// arguments are uint64 words in the model; ints and Addrs are accepted so
+// call sites stay cast-free.
+func toWords(args []any) []uint64 {
+	out := make([]uint64, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case uint64:
+			out[i] = v
+		case int:
+			out[i] = uint64(v)
+		case int64:
+			out[i] = uint64(v)
+		case uint:
+			out[i] = uint64(v)
+		case uint32:
+			out[i] = uint64(v)
+		case Addr:
+			out[i] = uint64(v)
+		case FuncRef:
+			out[i] = uint64(v.fid)
+		case bool:
+			if v {
+				out[i] = 1
+			}
+		default:
+			panic("ppm: unsupported capsule argument type")
+		}
+	}
+	return out
+}
