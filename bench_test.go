@@ -205,6 +205,67 @@ func BenchmarkAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkEngines — the engine split: every catalog workload on the model
+// simulator and on the native goroutine backend, same program, same input.
+// ns/op is the headline number here; the model's transfer counters have no
+// meaning for the native engine (its counters are word accesses).
+func BenchmarkEngines(b *testing.B) {
+	for _, eng := range []ppm.Engine{ppm.EngineModel, ppm.EngineNative} {
+		for _, spec := range ppm.Catalog() {
+			spec := spec
+			b.Run(string(eng)+"/"+spec.Name, func(b *testing.B) {
+				algo := spec.New("be", spec.BenchN, 1)
+				mem := 1 << 25 // model: P closure pools + heap
+				if eng == ppm.EngineNative {
+					mem = 1 << 20 // native: just the workload heap
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt := ppm.New(ppm.WithEngine(eng), ppm.WithProcs(4),
+						ppm.WithSeed(uint64(i)), ppm.WithEphWords(1<<13),
+						ppm.WithMemWords(mem), ppm.WithPoolWords(1<<21))
+					algo.Build(rt)
+					if !algo.Run() {
+						b.Fatal("did not complete")
+					}
+					if i == b.N-1 {
+						if err := algo.Verify(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNativePersist — the cost of capsule-boundary persistence points
+// on the native engine (the paper's §7 overhead question, at hardware
+// speed).
+func BenchmarkNativePersist(b *testing.B) {
+	for _, persist := range []bool{false, true} {
+		b.Run(fmt.Sprintf("persist=%v", persist), func(b *testing.B) {
+			algo, _ := ppm.NewByName("mergesort", "bp", 1<<13, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := []ppm.Option{ppm.WithEngine(ppm.EngineNative),
+					ppm.WithProcs(4), ppm.WithSeed(uint64(i)), ppm.WithMemWords(1 << 20)}
+				if persist {
+					opts = append(opts, ppm.WithNativePersist())
+				}
+				rt := ppm.New(opts...)
+				algo.Build(rt)
+				if !algo.Run() {
+					b.Fatal("did not complete")
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(rt.PersistPoints()), "persistPts/op")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCapsuleGranularity — A2: the checkpointing tension.
 func BenchmarkCapsuleGranularity(b *testing.B) {
 	for _, leaf := range []int{8, 512} {

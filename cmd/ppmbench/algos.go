@@ -8,16 +8,32 @@ import (
 	"repro/ppm"
 )
 
-// algoRT builds the standard faulty machine the algorithm experiments share.
-func algoRT(p int, f float64, seed uint64) *ppm.Runtime {
+// algoRT builds the standard runtime the algorithm experiments share: the
+// faulty simulated machine, or the native backend (which ignores the fault
+// options and needs no closure pools).
+func algoRT(eng ppm.Engine, p int, f float64, seed uint64) *ppm.Runtime {
+	mem := 1 << 25
+	if eng == ppm.EngineNative {
+		mem = 1 << 23
+	}
 	return ppm.New(
+		ppm.WithEngine(eng),
 		ppm.WithProcs(p),
 		ppm.WithFaultRate(f),
 		ppm.WithSeed(seed),
 		ppm.WithEphWords(1<<13),
-		ppm.WithMemWords(1<<25),
+		ppm.WithMemWords(mem),
 		ppm.WithPoolWords(1<<22),
 	)
+}
+
+// faultRates returns the fault-rate sweep for an engine: the native engine
+// injects no faults, so only the f=0 row is meaningful there.
+func faultRates(eng ppm.Engine) []float64 {
+	if eng == ppm.EngineNative {
+		return []float64{0}
+	}
+	return []float64{0, 0.005}
 }
 
 // mustRun builds algo on rt, runs it, and verifies the output against the
@@ -36,11 +52,14 @@ func mustRun(rt *ppm.Runtime, algo ppm.Algorithm) bool {
 }
 
 // runE7 — Theorem 7.1: prefix sum W = O(n/B), D = O(log n), C = O(1).
-func runE7() {
+// (On the native engine the counters are word accesses, so the normalized
+// column sits near B instead of a small constant; the flatness check is the
+// same.)
+func runE7(eng ppm.Engine) {
 	fmt.Printf("%10s %8s %12s %10s %8s\n", "n", "f", "W(algo)", "W/(n/B)", "maxC")
 	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
-		for _, f := range []float64{0, 0.005} {
-			rt := algoRT(4, f, 2)
+		for _, f := range faultRates(eng) {
+			rt := algoRT(eng, 4, f, 2)
 			algo, ok := ppm.NewByName("prefixsum", "e7", n, uint64(n))
 			if !ok {
 				fmt.Println("unknown workload prefixsum")
@@ -59,11 +78,11 @@ func runE7() {
 }
 
 // runE8 — Theorem 7.2: merge W = O(n/B), C = O(log n).
-func runE8() {
+func runE8(eng ppm.Engine) {
 	fmt.Printf("%10s %8s %12s %10s %8s\n", "n", "f", "W(algo)", "W/(n/B)", "maxC")
 	for _, n := range []int{1 << 9, 1 << 12, 1 << 15} {
-		for _, f := range []float64{0, 0.005} {
-			rt := algoRT(4, f, 3)
+		for _, f := range faultRates(eng) {
+			rt := algoRT(eng, 4, f, 3)
 			algo := ppm.Merge("e8", ppm.SortedInput(n, 1), ppm.SortedInput(n, 2))
 			if !mustRun(rt, algo) {
 				continue
@@ -80,7 +99,7 @@ func runE8() {
 // runE9 — Theorem 7.3: samplesort's W/(n/B) flat in n, mergesort's grows
 // with log(n/M); crossover where log(n/M) exceeds samplesort's constant.
 // Parameters respect M > B² and n <= M²/B.
-func runE9() {
+func runE9(eng ppm.Engine) {
 	const mWords = 1024
 	fmt.Printf("%10s %10s %14s %14s\n", "n", "log2(n/M)", "msort W/(n/B)", "ssort W/(n/B)")
 	for _, n := range []int{1 << 13, 1 << 14, 1 << 15, 1 << 16} {
@@ -93,7 +112,7 @@ func runE9() {
 			ppm.MergeSort("e9", in, mWords),
 			ppm.SampleSort("e9", in, mWords),
 		} {
-			rt := algoRT(1, 0, 7)
+			rt := algoRT(eng, 1, 0, 7)
 			if !mustRun(rt, algo) {
 				return
 			}
@@ -112,14 +131,14 @@ func runE9() {
 
 // runE10 — Theorem 7.4: matmul W = O(n³/(B√M)): 8x per doubling of n at
 // fixed base; decreasing in base (≈√M).
-func runE10() {
+func runE10(eng ppm.Engine) {
 	fmt.Printf("%8s %8s %12s %12s\n", "n", "base", "W(algo)", "W·B√M/n³")
 	for _, n := range []int{16, 32, 64} {
 		for _, base := range []int{4, 8, 16} {
 			if base > n {
 				continue
 			}
-			rt := ppm.New(ppm.WithProcs(2), ppm.WithSeed(9),
+			rt := ppm.New(ppm.WithEngine(eng), ppm.WithProcs(2), ppm.WithSeed(9),
 				ppm.WithMemWords(1<<25), ppm.WithPoolWords(1<<22))
 			x := rng.NewXoshiro256(uint64(n))
 			a := make([]uint64, n*n)
@@ -142,7 +161,7 @@ func runE10() {
 
 // runE12 — the WAR checker: seeded conflicting capsules are flagged; the
 // fault-replay demonstration shows the actual corruption they cause.
-func runE12() {
+func runE12(ppm.Engine) {
 	// Randomized conflict seeding on raw capsules.
 	x := rng.NewXoshiro256(99)
 	flagged, planted, clean := 0, 0, 0
@@ -202,7 +221,7 @@ func runE12() {
 // ω ≥ 1 units. The model's counters track reads and writes separately, so
 // asymmetric cost is r + ω·w; the table shows how each algorithm's
 // read/write balance translates.
-func runA3() {
+func runA3(ppm.Engine) {
 	fmt.Printf("%-12s %10s %10s %12s %12s %12s\n",
 		"algorithm", "reads", "writes", "cost ω=1", "cost ω=4", "cost ω=16")
 	for _, spec := range ppm.Catalog() {
@@ -213,7 +232,7 @@ func runA3() {
 		case "matmul":
 			n = 32
 		}
-		rt := algoRT(1, 0, 1)
+		rt := algoRT(ppm.EngineModel, 1, 0, 1)
 		if !mustRun(rt, spec.New("a3", n, uint64(n))) {
 			continue
 		}
@@ -229,7 +248,7 @@ func runA3() {
 // runA2 — capsule granularity: under faults there is a sweet spot between
 // tiny capsules (boundary overhead) and huge capsules (restart waste) — the
 // paper's checkpointing tension (§2).
-func runA2() {
+func runA2(ppm.Engine) {
 	const n = 1 << 14
 	fmt.Printf("%8s %8s %12s %12s %10s\n", "leaf", "f", "Wf(total)", "restarts", "maxC")
 	for _, leaf := range []int{8, 64, 512, 4096} {
@@ -243,7 +262,7 @@ func runA2() {
 					leaf, f, "-", "-", approxC, float64(approxC)*f)
 				continue
 			}
-			rt := algoRT(2, f, 13)
+			rt := algoRT(ppm.EngineModel, 2, f, 13)
 			x := rng.NewXoshiro256(1)
 			in := make([]uint64, n)
 			for i := range in {

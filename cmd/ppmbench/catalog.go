@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/ppm"
+)
+
+// catRT sizes a runtime for the cross-engine catalog benchmark. The model
+// machine needs room for P closure pools plus the workload heap; the native
+// engine only needs the heap, sized to the workload so per-run memory
+// zeroing stays off the measured path.
+func catRT(eng ppm.Engine, p, n int) *ppm.Runtime {
+	if eng == ppm.EngineNative {
+		// 8n covers the linear arrays; the quadratic term covers
+		// samplesort's (n/M)^2 count/offset matrices and their prefix-tree
+		// scratch (M = 1024 in the catalog).
+		ck := n/1024 + 2
+		mem := 1<<20 + 8*n + 8*ck*ck
+		return ppm.New(
+			ppm.WithEngine(eng),
+			ppm.WithProcs(p),
+			ppm.WithSeed(42),
+			ppm.WithMemWords(mem),
+		)
+	}
+	return ppm.New(
+		ppm.WithEngine(eng),
+		ppm.WithProcs(p),
+		ppm.WithSeed(42),
+		ppm.WithEphWords(1<<13),
+		ppm.WithMemWords(1<<25),
+		ppm.WithPoolWords(1<<21),
+	)
+}
+
+// runCat — the engine-split benchmark: every catalog workload built once
+// per engine from identical inputs, run, verified, and timed. With
+// `-engine both` the second pass prints the model/native wall-time ratio —
+// the speedup the native backend buys for scaling inputs and adding heavier
+// workloads. Rows are recorded for -json (tracked as BENCH_*.json).
+func runCat(eng ppm.Engine) {
+	p := benchP
+	if p <= 0 {
+		p = 4
+	}
+	fmt.Printf("%-12s %8s %4s %12s %12s %10s %10s %8s\n",
+		"workload", "n", "P", "wall", "work", "time T", "capsules", "result")
+	for _, spec := range ppm.Catalog() {
+		n := spec.BenchN
+		if benchN > 0 && spec.Name != "matmul" {
+			n = benchN
+		}
+		rt := catRT(eng, p, n)
+		algo := spec.New("cat", n, 2024)
+		algo.Build(rt)
+		// Collect the previous row's runtime (a model machine holds a
+		// multi-hundred-MB memory image) so GC pauses and page reclaim do
+		// not bleed into the next measurement.
+		runtime.GC()
+		start := time.Now()
+		ok := algo.Run()
+		wall := time.Since(start)
+		verified := ok
+		result := "ok"
+		if !ok {
+			result = "DIED"
+		} else if err := algo.Verify(); err != nil {
+			verified = false
+			result = "WRONG: " + err.Error()
+		}
+		s := rt.Stats()
+		fmt.Printf("%-12s %8d %4d %12s %12d %10d %10d %8s\n",
+			spec.Name, n, p, wall.Round(time.Microsecond), s.Work, s.MaxProcWork, s.Capsules, result)
+		record(benchRecord{
+			Exp:      "cat",
+			Workload: spec.Name,
+			Engine:   string(eng),
+			N:        n,
+			P:        p,
+			WallMS:   float64(wall.Microseconds()) / 1000.0,
+			Work:     s.Work,
+			UserWork: s.UserWork,
+			TimeT:    s.MaxProcWork,
+			Capsules: s.Capsules,
+			Steals:   s.Steals,
+			Restarts: s.Restarts,
+			Verified: verified,
+		})
+	}
+	printSpeedups()
+}
+
+// printSpeedups emits model/native wall-time ratios once both engines have
+// recorded a workload in this invocation, in recording order.
+func printSpeedups() {
+	native := map[string]float64{}
+	for _, r := range records {
+		if r.Exp == "cat" && r.Verified && ppm.Engine(r.Engine) == ppm.EngineNative {
+			native[fmt.Sprintf("%s/n=%d/P=%d", r.Workload, r.N, r.P)] = r.WallMS
+		}
+	}
+	printed := false
+	for _, r := range records {
+		if r.Exp != "cat" || !r.Verified || ppm.Engine(r.Engine) != ppm.EngineModel {
+			continue
+		}
+		key := fmt.Sprintf("%s/n=%d/P=%d", r.Workload, r.N, r.P)
+		nv, ok := native[key]
+		if !ok || nv <= 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("\nmodel vs native wall time:")
+			printed = true
+		}
+		fmt.Printf("  %-32s %10.2fms vs %8.2fms  => native %.1fx faster\n",
+			key, r.WallMS, nv, r.WallMS/nv)
+	}
+}

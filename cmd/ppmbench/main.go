@@ -1,55 +1,179 @@
 // ppmbench regenerates every experiment in EXPERIMENTS.md: the simulation
 // theorems (3.2–3.4), the scheduler bound (6.2), the algorithm bounds
-// (7.1–7.4), and the design ablations. Each experiment prints a small table;
-// `ppmbench -exp all` reproduces the whole document.
+// (7.1–7.4), the design ablations, and the cross-engine catalog benchmark.
+// Each experiment prints a small table; `ppmbench -exp all` reproduces the
+// whole document.
+//
+// Experiments that drive the public ppm API honor -engine and run on the
+// simulated model machine, the native goroutine backend, or both; the
+// machine-level experiments (deque protocol, CAM ablation, ...) are bound to
+// the model by their subject matter and are skipped under -engine=native.
 //
 //	go run ./cmd/ppmbench -exp e5
+//	go run ./cmd/ppmbench -exp cat -engine both -json BENCH.json
 //	go run ./cmd/ppmbench -exp all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/ppm"
 )
 
 var experiments = []struct {
-	id   string
-	desc string
-	run  func()
+	id       string
+	desc     string
+	portable bool // honors -engine; false = bound to the model machine
+	run      func(eng ppm.Engine)
 }{
-	{"e1", "Theorem 3.2: RAM simulation, O(t) total work", runE1},
-	{"e2", "Theorem 3.3: external-memory simulation, O(t) total work", runE2},
-	{"e3", "Theorem 3.4: ideal-cache simulation, cost tracks misses", runE3},
-	{"e4", "Figure 3/4: WS-deque exactly-once under faults", runE4},
-	{"e5", "Theorem 6.2: scheduler time bound vs P and f", runE5},
-	{"e6", "Section 6: hard faults, time vs dead processors", runE6},
-	{"e7", "Theorem 7.1: prefix sum work/depth/capsule bounds", runE7},
-	{"e8", "Theorem 7.2: merge work/capsule bounds", runE8},
-	{"e9", "Theorem 7.3: samplesort vs mergesort work", runE9},
-	{"e10", "Theorem 7.4: matrix multiply work scaling", runE10},
-	{"e11", "Figure 2: CAM capsule exactly-once ownership", runE11},
-	{"e12", "Theorems 3.1/5.1: WAR-freedom checker on seeded violations", runE12},
-	{"a1", "Ablation: CAS- vs CAM-based steal under faults", runA1},
-	{"a2", "Ablation: capsule granularity vs total work under faults", runA2},
-	{"a3", "Extension: asymmetric read/write costs (paper footnote 2)", runA3},
+	{"e1", "Theorem 3.2: RAM simulation, O(t) total work", false, runE1},
+	{"e2", "Theorem 3.3: external-memory simulation, O(t) total work", false, runE2},
+	{"e3", "Theorem 3.4: ideal-cache simulation, cost tracks misses", false, runE3},
+	{"e4", "Figure 3/4: WS-deque exactly-once under faults", false, runE4},
+	{"e5", "Theorem 6.2: scheduler time bound vs P and f", false, runE5},
+	{"e6", "Section 6: hard faults, time vs dead processors", false, runE6},
+	{"e7", "Theorem 7.1: prefix sum work/depth/capsule bounds", true, runE7},
+	{"e8", "Theorem 7.2: merge work/capsule bounds", true, runE8},
+	{"e9", "Theorem 7.3: samplesort vs mergesort work", true, runE9},
+	{"e10", "Theorem 7.4: matrix multiply work scaling", true, runE10},
+	{"e11", "Figure 2: CAM capsule exactly-once ownership", false, runE11},
+	{"e12", "Theorems 3.1/5.1: WAR-freedom checker on seeded violations", false, runE12},
+	{"a1", "Ablation: CAS- vs CAM-based steal under faults", false, runA1},
+	{"a2", "Ablation: capsule granularity vs total work under faults", false, runA2},
+	{"a3", "Extension: asymmetric read/write costs (paper footnote 2)", false, runA3},
+	{"cat", "Engine split: full catalog on model vs native, wall time", true, runCat},
 }
 
+// benchRecord is one machine-readable result row (-json output), the format
+// bench trajectories are tracked in across PRs (BENCH_*.json).
+type benchRecord struct {
+	Exp      string  `json:"exp"`
+	Workload string  `json:"workload"`
+	Engine   string  `json:"engine"`
+	N        int     `json:"n"`
+	P        int     `json:"p"`
+	WallMS   float64 `json:"wall_ms"`
+	Work     int64   `json:"work"`      // total accesses (blocks on model, words on native)
+	UserWork int64   `json:"user_work"` // algorithm-attributed accesses
+	TimeT    int64   `json:"time_t"`    // max per-processor work (the model's T/Tf)
+	Capsules int64   `json:"capsules"`
+	Steals   int64   `json:"steals"`
+	Restarts int64   `json:"restarts"`
+	Verified bool    `json:"verified"`
+}
+
+// records is initialized non-nil so -json always emits a JSON array, even
+// when the selected experiments record no rows.
+var records = []benchRecord{}
+
+func record(r benchRecord) { records = append(records, r) }
+
+// benchN / benchP are the -n / -procs overrides shared by the portable
+// experiments (0 = per-experiment defaults).
+var (
+	benchN int
+	benchP int
+)
+
 func main() {
-	exp := flag.String("exp", "", "experiment id (e1..e12, a1, a2) or 'all'")
+	exp := flag.String("exp", "", "experiment id (e1..e12, a1..a3, cat) or 'all'")
+	engineFlag := flag.String("engine", "model", "execution backend: model, native, or both")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	flag.IntVar(&benchN, "n", 0, "problem-size override for catalog experiments (0 = defaults)")
+	flag.IntVar(&benchP, "procs", 4, "processor count for the cat experiment")
 	flag.Parse()
+
+	engines, err := parseEngines(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *exp == "" {
-		fmt.Println("usage: ppmbench -exp <id|all>")
-		for _, e := range experiments {
-			fmt.Printf("  %-4s %s\n", e.id, e.desc)
-		}
+		fmt.Println("usage: ppmbench -exp <id|all> [-engine model|native|both] [-json out.json]")
+		listExperiments(os.Stdout)
 		os.Exit(2)
 	}
+	if *exp != "all" && !knownExperiment(*exp) {
+		fmt.Fprintf(os.Stderr, "ppmbench: unknown experiment id %q; valid ids:\n", *exp)
+		listExperiments(os.Stderr)
+		os.Exit(1)
+	}
+
 	for _, e := range experiments {
-		if *exp == "all" || strings.EqualFold(*exp, e.id) {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		if !e.portable {
+			if !containsEngine(engines, ppm.EngineModel) {
+				fmt.Printf("\n=== %s: %s ===\n(model-bound experiment, skipped under -engine=%s)\n",
+					strings.ToUpper(e.id), e.desc, *engineFlag)
+				continue
+			}
 			fmt.Printf("\n=== %s: %s ===\n", strings.ToUpper(e.id), e.desc)
-			e.run()
+			e.run(ppm.EngineModel)
+			continue
+		}
+		for _, eng := range engines {
+			fmt.Printf("\n=== %s [%s]: %s ===\n", strings.ToUpper(e.id), eng, e.desc)
+			e.run(eng)
 		}
 	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppmbench: encoding results:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ppmbench: writing results:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d result rows to %s\n", len(records), *jsonPath)
+	}
+}
+
+func knownExperiment(id string) bool {
+	for _, e := range experiments {
+		if strings.EqualFold(id, e.id) {
+			return true
+		}
+	}
+	return false
+}
+
+func listExperiments(w *os.File) {
+	for _, e := range experiments {
+		tag := " "
+		if e.portable {
+			tag = "*"
+		}
+		fmt.Fprintf(w, "  %-4s %s %s\n", e.id, tag, e.desc)
+	}
+	fmt.Fprintln(w, "  (* = honors -engine)")
+}
+
+func parseEngines(s string) ([]ppm.Engine, error) {
+	if s == "both" {
+		return []ppm.Engine{ppm.EngineModel, ppm.EngineNative}, nil
+	}
+	e, err := ppm.ParseEngine(s)
+	if err != nil {
+		return nil, fmt.Errorf("ppmbench: -engine must be model, native, or both: %v", err)
+	}
+	return []ppm.Engine{e}, nil
+}
+
+func containsEngine(es []ppm.Engine, e ppm.Engine) bool {
+	for _, x := range es {
+		if x == e {
+			return true
+		}
+	}
+	return false
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/deque"
 	"repro/internal/fault"
 	"repro/internal/pmem"
+	"repro/ppm"
 )
 
 // treeWorkload wires the canonical fork-join tree sum used by the scheduler
@@ -67,7 +68,7 @@ func (w *treeWorkload) run() bool {
 // runE4 — deque protocol validation: every entry transition across a faulty
 // multi-processor run must follow Figure 4 (plus the Lemma A.12 exception),
 // and final deques must be shape-valid with no dangling work.
-func runE4() {
+func runE4(ppm.Engine) {
 	fmt.Printf("%6s %8s %8s %10s %10s %8s\n", "P", "f", "steals", "trans", "badTrans", "result")
 	for _, p := range []int{2, 4, 8} {
 		for _, f := range []float64{0, 0.01} {
@@ -111,7 +112,7 @@ func runE4() {
 
 // runE5 — Theorem 6.2: Tf ≈ O(W/P + D·⌈log_{1/(Cf)} W⌉). Sweep P and f,
 // report the model time Tf (max per-processor transfers) and speedup.
-func runE5() {
+func runE5(ppm.Engine) {
 	const n, leaf = 8192, 32
 	fmt.Printf("%6s %8s %12s %12s %10s %10s\n", "P", "f", "Wf", "Tf", "speedup", "restarts")
 	var t1 float64
@@ -138,7 +139,7 @@ func runE5() {
 
 // runE6 — hard faults: kill k of P processors early; completion must hold
 // and Tf degrade roughly with P/PA.
-func runE6() {
+func runE6(ppm.Engine) {
 	const n, leaf = 4096, 32
 	fmt.Printf("%6s %6s %12s %12s %8s\n", "P", "dead", "Wf", "Tf", "result")
 	for _, dead := range []int{0, 1, 2, 4, 6} {
@@ -157,7 +158,7 @@ func runE6() {
 }
 
 // runE11 — Figure 2: racing CAM claims with faults; exactly one winner.
-func runE11() {
+func runE11(ppm.Engine) {
 	wins := map[int]int{}
 	const trials = 50
 	for seed := uint64(0); seed < trials; seed++ {
@@ -190,7 +191,7 @@ func runE11() {
 // runA1 — the CAS ablation: a steal protocol that branches on the CAS result
 // loses the stolen job when a fault lands right after the swap; the CAM +
 // re-check protocol recovers. (Mirrors TestCASLosesStealCAMDoesNot.)
-func runA1() {
+func runA1(ppm.Engine) {
 	fmt.Println("protocol   fault-after-RMW   job-executed   entry-state")
 	for _, useCAS := range []bool{false, true} {
 		out, st := casAblation(useCAS)

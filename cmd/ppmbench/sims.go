@@ -8,11 +8,12 @@ import (
 	"repro/internal/simcache"
 	"repro/internal/simem"
 	"repro/internal/simram"
+	"repro/ppm"
 )
 
 // runE1 — Theorem 3.2. The per-step cost Wf/t must be flat in t and grow
 // with f roughly like 1/(1-kf).
-func runE1() {
+func runE1(ppm.Engine) {
 	fmt.Printf("%8s %8s %12s %10s %8s\n", "t", "f", "Wf", "Wf/t", "faults")
 	for _, n := range []int{20, 100, 500, 2500} {
 		prog := simram.FibProgram(n)
@@ -39,7 +40,7 @@ func runE1() {
 
 // runE2 — Theorem 3.3. Simulating a scan: per-access PM cost flat in t; the
 // paper's condition f <= B/(cM) keeps round failure probability constant.
-func runE2() {
+func runE2(ppm.Engine) {
 	const b = 8
 	fmt.Printf("%8s %8s %8s %12s %10s\n", "t", "M/B", "f", "Wf", "Wf/t")
 	for _, nb := range []int{32, 128, 512} {
@@ -68,7 +69,7 @@ func runE2() {
 // runE3 — Theorem 3.4. A hot loop whose working set fits cache: LRU misses
 // (the reference t) stay constant as iterations R grow, and so must the PM
 // simulation cost.
-func runE3() {
+func runE3(ppm.Engine) {
 	const b, k = 8, 64
 	fmt.Printf("%8s %10s %12s %12s\n", "R", "LRUmisses", "PMwork", "PM/miss")
 	for _, r := range []int{1, 4, 16, 64} {

@@ -7,6 +7,10 @@
 // which is precisely why the protocol survives faults (Theorem 5.2), where a
 // CAS that branches on its register result would not (Section 5).
 //
+// The protocol runs twice: on the very faulty model machine, and then on
+// the native engine, where the same CAM race plays out between real
+// goroutines on real hardware atomics.
+//
 //	go run ./examples/camdemo
 package main
 
@@ -16,14 +20,21 @@ import (
 	"repro/ppm"
 )
 
-func main() {
-	const procs = 4
-	rt := ppm.New(
+const procs = 4
+
+func race(eng ppm.Engine) {
+	opts := []ppm.Option{
+		ppm.WithEngine(eng),
 		ppm.WithProcs(procs),
-		ppm.WithFaultRate(0.15), // very faulty machine
 		ppm.WithSeed(7),
-		ppm.WithWARCheck(),
-	)
+	}
+	if eng == ppm.EngineModel {
+		opts = append(opts,
+			ppm.WithFaultRate(0.15), // very faulty machine
+			ppm.WithWARCheck(),
+		)
+	}
+	rt := ppm.New(opts...)
 
 	owner := rt.NewArray(1)            // 0 = unowned (the "default")
 	claimed := rt.NewBlockArray(procs) // per-processor result slots, WAR-independent
@@ -48,7 +59,7 @@ func main() {
 	rt.RunOnAll(claim)
 
 	ownerWord := owner.Snapshot()[0]
-	fmt.Printf("owner word: processor %d claimed the job\n", ownerWord-1)
+	fmt.Printf("[%s] owner word: processor %d claimed the job\n", eng, ownerWord-1)
 	winners := 0
 	results := claimed.Snapshot()
 	for p := 0; p < procs; p++ {
@@ -59,11 +70,19 @@ func main() {
 		}
 		fmt.Printf("  proc %d: %s\n", p, status)
 	}
-	s := rt.Stats()
-	fmt.Printf("soft faults injected: %d (capsules replayed %d times)\n", s.SoftFaults, s.Restarts)
+	if eng == ppm.EngineModel {
+		s := rt.Stats()
+		fmt.Printf("soft faults injected: %d (capsules replayed %d times)\n", s.SoftFaults, s.Restarts)
+	}
 	if winners == 1 {
-		fmt.Println("exactly one winner despite faults and races: the CAM capsule is atomically idempotent")
+		fmt.Println("exactly one winner: the CAM capsule is atomically idempotent")
 	} else {
 		fmt.Printf("PROTOCOL VIOLATION: %d winners\n", winners)
 	}
+}
+
+func main() {
+	race(ppm.EngineModel)
+	fmt.Println()
+	race(ppm.EngineNative)
 }

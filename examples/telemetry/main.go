@@ -4,15 +4,17 @@
 // any time.
 //
 // The example drives the Theorem 7.3 samplesort and the baseline mergesort
-// through the uniform ppm.Algorithm interface on the same faulty machine
-// configuration, and reports the (identical, verified) results and the work
-// each algorithm spent.
+// through the uniform ppm.Algorithm interface, twice each: once on the
+// faulty model machine (reporting the model's work counters), and once on
+// the native goroutine engine (reporting wall time) — the engine split in
+// one program, with zero changes to the sorts between backends.
 //
 //	go run ./examples/telemetry
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/rng"
 	"repro/ppm"
@@ -29,32 +31,42 @@ func main() {
 	}
 	x.Shuffle(readings)
 
-	run := func(algo ppm.Algorithm) []uint64 {
+	run := func(eng ppm.Engine, algo ppm.Algorithm) []uint64 {
 		rt := ppm.New(
+			ppm.WithEngine(eng),
 			ppm.WithProcs(4),
-			ppm.WithFaultRate(0.002),
-			ppm.WithHardFault(0, 5000), // one node dies mid-batch
+			ppm.WithFaultRate(0.002),   // model engine only
+			ppm.WithHardFault(0, 5000), // one node dies mid-batch (model engine only)
 			ppm.WithSeed(99),
 			ppm.WithEphWords(1<<13),
 			ppm.WithMemWords(1<<24),
 		)
 		algo.Build(rt)
+		start := time.Now()
 		if !algo.Run() {
 			fmt.Printf("%s: cluster lost\n", algo.Name())
 			return nil
 		}
+		wall := time.Since(start)
 		status := "exact"
 		if err := algo.Verify(); err != nil {
 			status = err.Error()
 		}
 		s := rt.Stats()
-		fmt.Printf("%-22s sorted %d readings (%s) | algorithm work W=%d, total Wf=%d, faults=%d, steals=%d, dead=%d\n",
-			algo.Name()+":", n, status, s.UserWork, s.Work, s.SoftFaults, s.Steals, s.Dead)
+		if eng == ppm.EngineModel {
+			fmt.Printf("[model]  %-22s sorted %d readings (%s) | work W=%d, total Wf=%d, faults=%d, steals=%d, dead=%d\n",
+				algo.Name()+":", n, status, s.UserWork, s.Work, s.SoftFaults, s.Steals, s.Dead)
+		} else {
+			fmt.Printf("[native] %-22s sorted %d readings (%s) | %s wall, %d capsules, %d steals\n",
+				algo.Name()+":", n, status, wall.Round(time.Microsecond), s.Capsules, s.Steals)
+		}
 		return algo.Output()
 	}
 
-	bySample := run(ppm.SampleSort("telemetry", readings, 1024))
-	byMerge := run(ppm.MergeSort("telemetry", readings, 1024))
+	bySample := run(ppm.EngineModel, ppm.SampleSort("telemetry", readings, 1024))
+	byMerge := run(ppm.EngineModel, ppm.MergeSort("telemetry", readings, 1024))
+	run(ppm.EngineNative, ppm.SampleSort("telemetry-native", readings, 1024))
+	run(ppm.EngineNative, ppm.MergeSort("telemetry-native", readings, 1024))
 
 	same := bySample != nil && byMerge != nil && len(bySample) == len(byMerge)
 	for i := range bySample {
@@ -64,5 +76,5 @@ func main() {
 		}
 	}
 	fmt.Printf("samplesort and mergesort outputs identical: %v\n", same)
-	fmt.Println("(same machine, same faults, same dead node — both exactly right)")
+	fmt.Println("(same faulty machine, same dead node on the model; hardware speed on native — all exactly right)")
 }

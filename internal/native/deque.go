@@ -1,0 +1,108 @@
+// Package native is the hardware-speed execution backend of the runtime: a
+// real goroutine-per-processor work-stealing fork-join scheduler that runs
+// the same continuation-passing programs the model machine interprets, but
+// directly on the host CPU.
+//
+// Where the model machine (internal/machine + internal/sched) is a faithful
+// simulator — per-block cost accounting, fault injection, closures living in
+// simulated persistent memory — this package is the paper's own experimental
+// setup (§7): the algorithms execute natively on a multicore, with capsule
+// boundaries optionally compiled in as persistence points so fault-overhead
+// experiments can mirror the paper's methodology without paying interpreter
+// cost.
+//
+// The public ppm package selects between the two backends behind its Engine
+// option; programs written against ppm.Ctx/ppm.Array run on either unchanged.
+package native
+
+import "sync/atomic"
+
+// deque is a Chase–Lev-style work-stealing deque over a fixed ring of
+// atomically published task pointers. The owner pushes and pops at the
+// bottom; thieves pop at the top with a CAS. All indices and slots go
+// through sync/atomic (sequentially consistent in Go), which keeps the
+// classic algorithm race-detector-clean without locks.
+//
+// The ring does not grow: push reports failure when full and the caller
+// spills to the runtime's overflow queue. Work-first scheduling keeps the
+// resident size O(spawn depth), so a spill is a rare event, not a hot path.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    []atomic.Pointer[task]
+	mask   int64
+}
+
+func newDeque(capacity int) *deque {
+	if capacity <= 0 {
+		capacity = 1 << 13
+	}
+	// Round up to a power of two for mask indexing.
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &deque{buf: make([]atomic.Pointer[task], c), mask: int64(c - 1)}
+}
+
+// push appends t at the bottom (owner only). Returns false when the ring is
+// full; the capacity check against top also guarantees a concurrent popTop
+// can never observe a slot being recycled before its CAS claims it.
+func (d *deque) push(t *task) bool {
+	b := d.bottom.Load()
+	if b-d.top.Load() >= int64(len(d.buf)) {
+		return false
+	}
+	d.buf[b&d.mask].Store(t)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// popBottom removes and returns the most recently pushed task (owner only),
+// or nil when the deque is empty. The single-entry race against thieves is
+// resolved by CAS on top, exactly as in Chase–Lev.
+func (d *deque) popBottom() *task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(t)
+		return nil
+	}
+	tk := d.buf[b&d.mask].Load()
+	if b > t {
+		return tk
+	}
+	// Last entry: race thieves for it.
+	if !d.top.CompareAndSwap(t, t+1) {
+		tk = nil // a thief won
+	}
+	d.bottom.Store(t + 1)
+	return tk
+}
+
+// popTop steals the oldest task (any goroutine), or returns nil when the
+// deque looks empty or the CAS loses a race. Callers treat nil as "try
+// elsewhere"; there is no retry loop here so steal attempts stay cheap.
+func (d *deque) popTop() *task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	tk := d.buf[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return tk
+}
+
+// size reports a racy estimate of resident entries (monitoring only).
+func (d *deque) size() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,590 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capsule"
+	"repro/internal/pmem"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config sizes a native runtime.
+type Config struct {
+	// P is the number of worker goroutines ("processors").
+	P int
+	// MemWords sizes the flat word-addressable memory (default 1<<23).
+	// Address 0 is reserved as Nil, mirroring the model machine.
+	MemWords int
+	// BlockWords is B in words (default 8). The native engine has no block
+	// transfers, but arrays keep the model's block-aligned layout so the
+	// same program produces the same addresses on both backends.
+	BlockWords int
+	// DequeCap is the per-worker deque capacity (default 1<<13).
+	DequeCap int
+	// Seed drives steal-victim selection.
+	Seed uint64
+	// Persist compiles a persistence point into every capsule boundary: a
+	// committed write of the worker's capsule counter to a dedicated epoch
+	// word, the overhead the paper's native experiments measure (§7).
+	Persist bool
+}
+
+func (c *Config) fill() {
+	if c.P <= 0 {
+		c.P = 1
+	}
+	if c.BlockWords <= 0 {
+		c.BlockWords = 8
+	}
+	if c.MemWords <= 0 {
+		c.MemWords = 1 << 23
+	}
+	if c.DequeCap <= 0 {
+		c.DequeCap = 1 << 13
+	}
+}
+
+// Task kinds. A user task runs a registered function; a pfor task expands a
+// balanced fork-join tree over an index range; a nop task exists only to
+// forward completion to its join (forks without a combine step).
+const (
+	taskUser = iota
+	taskPfor
+	taskNop
+)
+
+// task is one capsule-granular unit of work: a function, its argument words,
+// and the join awaiting its completion. It is the native analogue of a
+// closure in the model's persistent memory — except it lives on the Go heap
+// and costs nanoseconds, not simulated block transfers.
+type task struct {
+	kind uint8
+	fn   capsule.FuncID
+	args []uint64
+	join *join
+}
+
+// join is the last-arriver cell of a fork: when pending reaches zero the
+// continuation task runs. It replaces the model's CAM-based join-end
+// protocol; without faults an atomic counter is all that is needed.
+type join struct {
+	pending atomic.Int32
+	cont    *task // nil only for the root join: completion ends the run
+}
+
+// Runtime is one native execution engine instance.
+type Runtime struct {
+	cfg Config
+
+	mem  []uint64
+	heap atomic.Int64
+
+	funcs []func(*Ctx)
+	names map[string]capsule.FuncID
+
+	workers []*Ctx
+	done    atomic.Bool
+
+	// overflow receives the root task and any spill from a full deque.
+	ovMu     sync.Mutex
+	overflow []*task
+
+	persistBase pmem.Addr // P block-spaced epoch words, when Persist is on
+}
+
+// New builds a native runtime.
+func New(cfg Config) *Runtime {
+	cfg.fill()
+	rt := &Runtime{
+		cfg:   cfg,
+		mem:   make([]uint64, cfg.MemWords),
+		funcs: []func(*Ctx){nil}, // ID 0 reserved, as in capsule.Registry
+		names: map[string]capsule.FuncID{},
+	}
+	rt.heap.Store(int64(cfg.BlockWords)) // word 0 reserved as Nil
+	if cfg.Persist {
+		rt.persistBase = rt.HeapAllocBlocks(cfg.P * cfg.BlockWords)
+	}
+	sm := rng.NewSplitMix64(cfg.Seed ^ 0xa5a5a5a5deadbeef)
+	rt.workers = make([]*Ctx, cfg.P)
+	for p := 0; p < cfg.P; p++ {
+		rt.workers[p] = &Ctx{
+			rt:  rt,
+			id:  p,
+			dq:  newDeque(cfg.DequeCap),
+			rng: rng.NewXoshiro256(sm.Next()),
+		}
+	}
+	return rt
+}
+
+// Register adds body under name and returns its function ID. Registration
+// must finish before the runtime runs; duplicate names panic, mirroring the
+// model registry's contract.
+func (rt *Runtime) Register(name string, body func(*Ctx)) capsule.FuncID {
+	if body == nil {
+		panic("native: nil function")
+	}
+	if _, dup := rt.names[name]; dup {
+		panic("native: duplicate function name " + name)
+	}
+	id := capsule.FuncID(len(rt.funcs))
+	rt.funcs = append(rt.funcs, body)
+	rt.names[name] = id
+	return id
+}
+
+// P returns the worker count.
+func (rt *Runtime) P() int { return rt.cfg.P }
+
+// BlockWords returns the layout block size B.
+func (rt *Runtime) BlockWords() int { return rt.cfg.BlockWords }
+
+// ---- memory ----
+
+func (rt *Runtime) check(a pmem.Addr) {
+	if a <= 0 || int64(a) >= int64(len(rt.mem)) {
+		panic(fmt.Sprintf("native: address %d out of range (size %d)", a, len(rt.mem)))
+	}
+}
+
+// MemRead reads a word (harness-side).
+func (rt *Runtime) MemRead(a pmem.Addr) uint64 {
+	rt.check(a)
+	return atomic.LoadUint64(&rt.mem[a])
+}
+
+// MemWrite writes a word (harness-side).
+func (rt *Runtime) MemWrite(a pmem.Addr, v uint64) {
+	rt.check(a)
+	atomic.StoreUint64(&rt.mem[a], v)
+}
+
+// HeapAllocBlocks reserves n words starting at a block boundary.
+func (rt *Runtime) HeapAllocBlocks(n int) pmem.Addr {
+	b := int64(rt.cfg.BlockWords)
+	for {
+		cur := rt.heap.Load()
+		start := (cur + b - 1) / b * b
+		if start+int64(n) > int64(len(rt.mem)) {
+			panic(fmt.Sprintf("native: heap exhausted (%d words requested); raise MemWords", n))
+		}
+		if rt.heap.CompareAndSwap(cur, start+int64(n)) {
+			return pmem.Addr(start)
+		}
+	}
+}
+
+// ---- run ----
+
+func (rt *Runtime) inject(t *task) {
+	rt.ovMu.Lock()
+	rt.overflow = append(rt.overflow, t)
+	rt.ovMu.Unlock()
+}
+
+func (rt *Runtime) popOverflow() *task {
+	rt.ovMu.Lock()
+	defer rt.ovMu.Unlock()
+	n := len(rt.overflow)
+	if n == 0 {
+		return nil
+	}
+	t := rt.overflow[n-1]
+	rt.overflow[n-1] = nil
+	rt.overflow = rt.overflow[:n-1]
+	return t
+}
+
+// Run executes root(args...) to completion on all P workers and returns
+// whether the computation finished (it always does natively — hard faults
+// are a model-engine concern).
+func (rt *Runtime) Run(root capsule.FuncID, args ...uint64) bool {
+	rt.done.Store(false)
+	rootJoin := &join{}
+	rootJoin.pending.Store(1)
+	rt.inject(&task{kind: taskUser, fn: root, args: args, join: rootJoin})
+
+	var wg sync.WaitGroup
+	for _, w := range rt.workers {
+		wg.Add(1)
+		go func(w *Ctx) {
+			defer wg.Done()
+			w.schedLoop()
+		}(w)
+	}
+	wg.Wait()
+	return true
+}
+
+// RunOnAll starts fn(args...) independently on every worker — no deques, no
+// stealing — and waits for every chain to Halt. This mirrors the model
+// machine's manual-chain mode used by protocol demonstrations.
+func (rt *Runtime) RunOnAll(fn capsule.FuncID, args ...uint64) {
+	rt.done.Store(false)
+	var wg sync.WaitGroup
+	for _, w := range rt.workers {
+		wg.Add(1)
+		go func(w *Ctx) {
+			defer wg.Done()
+			w.execute(&task{kind: taskUser, fn: fn, args: args})
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Stats summarizes per-worker counters into the shared Summary shape. The
+// native engine counts word accesses (there are no block transfers), so
+// Work is word-granular; scheduler bookkeeping touches no shared memory, so
+// all of it is user work.
+func (rt *Runtime) Stats() stats.Summary {
+	var out stats.Summary
+	out.P = rt.cfg.P
+	for _, w := range rt.workers {
+		t := w.reads + w.writes
+		out.Reads += w.reads
+		out.Writes += w.writes
+		out.Work += t
+		out.UserWork += t
+		out.Capsules += w.capsules
+		out.Steals += w.steals
+		out.StealTries += w.stealTries
+		if t > out.MaxProcWork {
+			out.MaxProcWork = t
+		}
+		if w.maxTaskWork > out.MaxCapsWork {
+			out.MaxCapsWork = w.maxTaskWork
+		}
+	}
+	return out
+}
+
+// PersistPoints returns the total number of capsule-boundary persistence
+// points committed (0 unless Config.Persist).
+func (rt *Runtime) PersistPoints() int64 {
+	var n int64
+	for _, w := range rt.workers {
+		n += w.persists
+	}
+	return n
+}
+
+// ---- worker / execution context ----
+
+// Ctx is one worker's execution context: the receiver capsule bodies run
+// against. It exposes the same operation set the model's capsule.Env gives
+// typed programs — argument access, word reads/writes, CAM, allocation, and
+// the control transfers — implemented directly on hardware.
+type Ctx struct {
+	rt  *Runtime
+	id  int
+	dq  *deque
+	rng *rng.Xoshiro256
+
+	cur  *task
+	next *task
+
+	// Counters are plain fields: each is touched only by the owning worker
+	// goroutine during a run and read by the harness after Wait.
+	reads, writes      int64
+	capsules           int64
+	steals, stealTries int64
+	persists           int64
+	taskWork           int64
+	maxTaskWork        int64
+}
+
+// schedLoop is the work-stealing scheduler: own deque first, then the
+// overflow queue, then random-victim stealing. Idle workers back off
+// quickly into escalating sleeps: on machines with fewer cores than P, a
+// spinning thief would steal cycles from the worker that has the work.
+func (w *Ctx) schedLoop() {
+	backoff := 0
+	for !w.rt.done.Load() {
+		t := w.dq.popBottom()
+		if t == nil {
+			t = w.rt.popOverflow()
+		}
+		if t == nil {
+			t = w.trySteal()
+		}
+		if t == nil {
+			backoff++
+			switch {
+			case backoff < 32:
+				runtime.Gosched()
+			case backoff < 64:
+				time.Sleep(50 * time.Microsecond)
+			default:
+				time.Sleep(500 * time.Microsecond)
+			}
+			continue
+		}
+		backoff = 0
+		w.execute(t)
+	}
+}
+
+func (w *Ctx) trySteal() *task {
+	p := w.rt.cfg.P
+	if p == 1 {
+		return nil
+	}
+	start := int(w.rng.Next() % uint64(p))
+	for i := 0; i < p; i++ {
+		v := (start + i) % p
+		if v == w.id {
+			continue
+		}
+		w.stealTries++
+		if t := w.rt.workers[v].dq.popTop(); t != nil {
+			w.steals++
+			return t
+		}
+	}
+	return nil
+}
+
+// execute runs a task chain to its end: each body performs exactly one
+// control transfer, which either sets w.next (continue in this worker) or
+// ends the chain (Done resolved elsewhere, or Halt).
+func (w *Ctx) execute(t *task) {
+	for t != nil {
+		w.cur, w.next = t, nil
+		w.capsules++
+		w.taskWork = 0
+		switch t.kind {
+		case taskUser:
+			w.rt.funcs[t.fn](w)
+		case taskPfor:
+			w.runPfor(t)
+		case taskNop:
+			w.Done()
+		}
+		if w.taskWork > w.maxTaskWork {
+			w.maxTaskWork = w.taskWork
+		}
+		if w.rt.cfg.Persist {
+			w.persists++
+			atomic.StoreUint64(
+				&w.rt.mem[w.rt.persistBase+pmem.Addr(w.id*w.rt.cfg.BlockWords)],
+				uint64(w.capsules))
+			w.writes++
+		}
+		t = w.next
+	}
+}
+
+// spawn makes t available to thieves, spilling to the overflow queue when
+// the ring is full.
+func (w *Ctx) spawn(t *task) {
+	if !w.dq.push(t) {
+		w.rt.inject(t)
+	}
+}
+
+// resolve delivers one completion to j.
+func (w *Ctx) resolve(j *join) {
+	if j == nil {
+		// A RunOnAll chain used Done instead of Halt; treat it as chain end.
+		return
+	}
+	if j.pending.Add(-1) != 0 {
+		return
+	}
+	if j.cont == nil {
+		w.rt.done.Store(true) // root completion
+		return
+	}
+	w.next = j.cont
+}
+
+// runPfor expands the balanced parallel-for tree.
+// args: [body, lo, hi, grain, x0, x1].
+func (w *Ctx) runPfor(t *task) {
+	lo, hi, grain := int64(t.args[1]), int64(t.args[2]), int64(t.args[3])
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		w.next = &task{kind: taskUser, fn: capsule.FuncID(t.args[0]),
+			args: []uint64{uint64(lo), uint64(hi), t.args[4], t.args[5]}, join: t.join}
+		return
+	}
+	mid := (lo + hi) / 2
+	j := &join{cont: &task{kind: taskNop, join: t.join}}
+	j.pending.Store(2)
+	largs := []uint64{t.args[0], uint64(lo), uint64(mid), uint64(grain), t.args[4], t.args[5]}
+	rargs := []uint64{t.args[0], uint64(mid), uint64(hi), uint64(grain), t.args[4], t.args[5]}
+	w.spawn(&task{kind: taskPfor, args: largs, join: j})
+	w.next = &task{kind: taskPfor, args: rargs, join: j}
+}
+
+// ---- capsule-visible operations ----
+
+// Arg returns closure argument i.
+func (w *Ctx) Arg(i int) uint64 { return w.cur.args[i] }
+
+// NArgs returns the number of arguments of the current task.
+func (w *Ctx) NArgs() int { return len(w.cur.args) }
+
+// ProcID returns the executing worker's ID.
+func (w *Ctx) ProcID() int { return w.id }
+
+// NumProcs returns P.
+func (w *Ctx) NumProcs() int { return w.rt.cfg.P }
+
+// Rand returns per-worker pseudo-randomness.
+func (w *Ctx) Rand() uint64 { return w.rng.Next() }
+
+// Read loads the word at a.
+func (w *Ctx) Read(a pmem.Addr) uint64 {
+	w.rt.check(a)
+	w.reads++
+	w.taskWork++
+	return atomic.LoadUint64(&w.rt.mem[a])
+}
+
+// Write stores v at a.
+func (w *Ctx) Write(a pmem.Addr, v uint64) {
+	w.rt.check(a)
+	w.writes++
+	w.taskWork++
+	atomic.StoreUint64(&w.rt.mem[a], v)
+}
+
+// CAM is compare-and-modify: the outcome is deliberately not returned,
+// matching the model's only safe read-modify-write.
+func (w *Ctx) CAM(a pmem.Addr, old, new uint64) {
+	w.rt.check(a)
+	w.writes++
+	w.taskWork++
+	atomic.CompareAndSwapUint64(&w.rt.mem[a], old, new)
+}
+
+// Alloc reserves n fresh zeroed words from the shared heap.
+func (w *Ctx) Alloc(n int) pmem.Addr { return w.rt.HeapAllocBlocks(n) }
+
+// ReadAt returns base[idx].
+func (w *Ctx) ReadAt(base pmem.Addr, idx int) uint64 {
+	return w.Read(base + pmem.Addr(idx))
+}
+
+// Bulk range accesses use plain loads and stores: capsules exchange bulk
+// data only through fork-join ordering (a reader runs strictly after the
+// writer's join resolves), and every join/steal transition goes through
+// sync/atomic, which carries the happens-before edge. Racing on individual
+// words is the CAM idiom and stays on the sequentially consistent
+// single-word operations above. This mirrors the model, where bulk block
+// transfers are only well-defined between ordered capsules while racing
+// word access is CAM territory.
+
+// ReadRange streams base[lo,hi) through fn.
+func (w *Ctx) ReadRange(base pmem.Addr, lo, hi int, fn func(idx int, v uint64)) {
+	if lo >= hi {
+		return
+	}
+	w.rt.check(base + pmem.Addr(lo))
+	w.rt.check(base + pmem.Addr(hi-1))
+	mem := w.rt.mem[base+pmem.Addr(lo) : base+pmem.Addr(hi)]
+	for i, v := range mem {
+		fn(lo+i, v)
+	}
+	n := int64(hi - lo)
+	w.reads += n
+	w.taskWork += n
+}
+
+// ReadInto bulk-copies base[lo,hi) into dst — the hot path of leaf sorts
+// and merges, kept free of per-word closure dispatch.
+func (w *Ctx) ReadInto(base pmem.Addr, lo, hi int, dst []uint64) {
+	if lo >= hi {
+		return
+	}
+	w.rt.check(base + pmem.Addr(lo))
+	w.rt.check(base + pmem.Addr(hi-1))
+	copy(dst, w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)])
+	n := int64(hi - lo)
+	w.reads += n
+	w.taskWork += n
+}
+
+// WriteRange writes vals over base[lo,hi).
+func (w *Ctx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {
+	if hi-lo != len(vals) {
+		panic("native: WriteRange length mismatch")
+	}
+	if lo >= hi {
+		return
+	}
+	w.rt.check(base + pmem.Addr(lo))
+	w.rt.check(base + pmem.Addr(hi-1))
+	copy(w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)], vals)
+	n := int64(hi - lo)
+	w.writes += n
+	w.taskWork += n
+}
+
+// ---- control transfers ----
+
+// Done finishes the current task, delivering completion to its join.
+func (w *Ctx) Done() { w.resolve(w.cur.join) }
+
+// Halt ends this worker's current chain (RunOnAll mode).
+func (w *Ctx) Halt() { w.next = nil }
+
+// Then continues the current chain with fid(args...), preserving the join.
+func (w *Ctx) Then(fid capsule.FuncID, args []uint64) {
+	w.next = &task{kind: taskUser, fn: fid, args: args, join: w.cur.join}
+}
+
+// Seq chains the calls so each runs after the previous one's entire
+// computation (including anything it forks) completes; the last one's
+// completion goes to the current task's join.
+func (w *Ctx) Seq(fids []capsule.FuncID, argss [][]uint64) {
+	if len(fids) == 0 {
+		w.Done()
+		return
+	}
+	j := w.cur.join
+	for i := len(fids) - 1; i >= 1; i-- {
+		step := &join{cont: &task{kind: taskUser, fn: fids[i], args: argss[i], join: j}}
+		step.pending.Store(1)
+		j = step
+	}
+	w.next = &task{kind: taskUser, fn: fids[0], args: argss[0], join: j}
+}
+
+// Fork runs left and right in parallel. When both complete, the join call
+// runs (hasJoin) or completion passes straight through (plain fork); either
+// way the current task's join eventually receives the completion.
+func (w *Ctx) Fork(lf capsule.FuncID, la []uint64, rf capsule.FuncID, ra []uint64,
+	jf capsule.FuncID, ja []uint64, hasJoin bool) {
+
+	j := &join{}
+	j.pending.Store(2)
+	if hasJoin {
+		j.cont = &task{kind: taskUser, fn: jf, args: ja, join: w.cur.join}
+	} else {
+		j.cont = &task{kind: taskNop, join: w.cur.join}
+	}
+	w.spawn(&task{kind: taskUser, fn: lf, args: la, join: j})
+	w.next = &task{kind: taskUser, fn: rf, args: ra, join: j}
+}
+
+// ParallelFor runs body over [lo, hi) as a balanced tree with at most grain
+// indices per leaf; body receives [lo, hi, a0, a1] and must end with Done.
+func (w *Ctx) ParallelFor(body capsule.FuncID, lo, hi, grain int, a0, a1 uint64) {
+	w.next = &task{kind: taskPfor,
+		args: []uint64{uint64(body), uint64(lo), uint64(hi), uint64(grain), a0, a1},
+		join: w.cur.join}
+}
+
+// ModelEnv returns nil: native capsules have no simulated machine behind
+// them. Present so the ppm layer can expose Raw() uniformly.
+func (w *Ctx) ModelEnv() capsule.Env { return nil }

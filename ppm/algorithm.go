@@ -3,19 +3,20 @@ package ppm
 import (
 	"fmt"
 
-	"repro/internal/algos/matmul"
-	"repro/internal/algos/merge"
-	"repro/internal/algos/prefixsum"
-	"repro/internal/algos/sort"
 	"repro/internal/rng"
 )
 
 // Algorithm is the uniform workload interface: an instance carries its own
 // input, binds to a Runtime in Build (allocating arrays, registering
-// capsules, loading the input), executes under that runtime's fault model in
-// Run, and checks its own output against a sequential reference in Verify.
-// Benchmarks, experiments, and examples all drive workloads through this
-// one interface instead of per-algorithm adapters.
+// capsules, loading the input), executes under that runtime's engine and
+// fault model in Run, and checks its own output against a sequential
+// reference in Verify. Benchmarks, experiments, and examples all drive
+// workloads through this one interface instead of per-algorithm adapters.
+//
+// Every implementation in this package is written purely against Ctx and
+// Array (see workloads.go), so the same instance runs on the model engine
+// and the native engine with zero per-algorithm changes — rebuild it on a
+// runtime with a different WithEngine and Run again.
 type Algorithm interface {
 	// Name identifies the workload (unique within a runtime).
 	Name() string
@@ -45,130 +46,6 @@ func verifyWords(name string, got, want []uint64) error {
 	return nil
 }
 
-// ---- prefix sum (Theorem 7.1) ----
-
-type prefixSumAlgo struct {
-	tag  string
-	leaf int
-	in   []uint64
-	ps   *prefixsum.PS
-}
-
-// PrefixSum builds a Theorem 7.1 inclusive prefix sum over input. leaf is
-// the sequential base-case size; 0 selects the work-optimal block size B.
-func PrefixSum(tag string, input []uint64, leaf int) Algorithm {
-	return &prefixSumAlgo{tag: tag, leaf: leaf, in: input}
-}
-
-func (a *prefixSumAlgo) Name() string { return "prefixsum/" + a.tag }
-func (a *prefixSumAlgo) Build(rt *Runtime) {
-	a.ps = prefixsum.Build(rt.Machine(), rt.forkJoin(), a.tag, len(a.in), a.leaf)
-	a.ps.LoadInput(a.in)
-}
-func (a *prefixSumAlgo) Run() bool        { return a.ps.Run() }
-func (a *prefixSumAlgo) Output() []uint64 { return a.ps.Output() }
-func (a *prefixSumAlgo) Verify() error {
-	return verifyWords(a.Name(), a.Output(), prefixsum.Sequential(a.in))
-}
-
-// ---- merge (Theorem 7.2) ----
-
-type mergeAlgo struct {
-	tag  string
-	a, b []uint64
-	mg   *merge.M
-}
-
-// Merge builds a Theorem 7.2 parallel merge of two sorted inputs.
-func Merge(tag string, a, b []uint64) Algorithm {
-	return &mergeAlgo{tag: tag, a: a, b: b}
-}
-
-func (m *mergeAlgo) Name() string { return "merge/" + m.tag }
-func (m *mergeAlgo) Build(rt *Runtime) {
-	m.mg = merge.Build(rt.Machine(), rt.forkJoin(), m.tag, len(m.a), len(m.b), 0)
-	m.mg.LoadInputs(m.a, m.b)
-}
-func (m *mergeAlgo) Run() bool        { return m.mg.Run() }
-func (m *mergeAlgo) Output() []uint64 { return m.mg.Output() }
-func (m *mergeAlgo) Verify() error {
-	return verifyWords(m.Name(), m.Output(), merge.Sequential(m.a, m.b))
-}
-
-// ---- sorts (Theorem 7.3) ----
-
-type sortAlgo struct {
-	tag    string
-	sample bool
-	mWords int
-	in     []uint64
-	run    func() bool
-	out    func() []uint64
-}
-
-// MergeSort builds the baseline multi-way external merge sort; mWords is
-// the ephemeral-memory budget M driving its fan-in.
-func MergeSort(tag string, input []uint64, mWords int) Algorithm {
-	return &sortAlgo{tag: tag, sample: false, mWords: mWords, in: input}
-}
-
-// SampleSort builds the Theorem 7.3 work-optimal sample sort; mWords is the
-// ephemeral-memory budget M (requires M > B² and n ≤ M²/B).
-func SampleSort(tag string, input []uint64, mWords int) Algorithm {
-	return &sortAlgo{tag: tag, sample: true, mWords: mWords, in: input}
-}
-
-func (s *sortAlgo) Name() string {
-	if s.sample {
-		return "samplesort/" + s.tag
-	}
-	return "mergesort/" + s.tag
-}
-func (s *sortAlgo) Build(rt *Runtime) {
-	if s.sample {
-		ss := sort.NewSampleSort(rt.Machine(), rt.forkJoin(), s.tag, len(s.in), s.mWords)
-		ss.LoadInput(s.in)
-		s.run, s.out = ss.Run, ss.Output
-	} else {
-		ms := sort.NewMergeSort(rt.Machine(), rt.forkJoin(), s.tag, len(s.in), s.mWords)
-		ms.LoadInput(s.in)
-		s.run, s.out = ms.Run, ms.Output
-	}
-}
-func (s *sortAlgo) Run() bool        { return s.run() }
-func (s *sortAlgo) Output() []uint64 { return s.out() }
-func (s *sortAlgo) Verify() error {
-	return verifyWords(s.Name(), s.Output(), sort.Sequential(s.in))
-}
-
-// ---- matrix multiply (Theorem 7.4) ----
-
-type matMulAlgo struct {
-	tag  string
-	dim  int
-	base int
-	a, b []uint64
-	mm   *matmul.MM
-}
-
-// MatMul builds the Theorem 7.4 recursive matrix multiply of two dim×dim
-// matrices (row-major). base is the leaf tile size, playing √M in the
-// W = O(n³/(B√M)) bound.
-func MatMul(tag string, dim, base int, a, b []uint64) Algorithm {
-	return &matMulAlgo{tag: tag, dim: dim, base: base, a: a, b: b}
-}
-
-func (m *matMulAlgo) Name() string { return "matmul/" + m.tag }
-func (m *matMulAlgo) Build(rt *Runtime) {
-	m.mm = matmul.Build(rt.Machine(), rt.forkJoin(), m.tag, m.dim, m.base, 1<<20)
-	m.mm.LoadInputs(m.a, m.b)
-}
-func (m *matMulAlgo) Run() bool        { return m.mm.Run() }
-func (m *matMulAlgo) Output() []uint64 { return m.mm.Output() }
-func (m *matMulAlgo) Verify() error {
-	return verifyWords(m.Name(), m.Output(), matmul.Native(m.a, m.b, m.dim))
-}
-
 // ---- catalog ----
 
 // Spec is a catalog entry: a named factory producing a self-contained
@@ -185,7 +62,8 @@ type Spec struct {
 
 // Catalog returns the standard workload registry — one uniform entry per
 // Section 7 algorithm. Experiments and benchmarks iterate this instead of
-// wiring each algorithm by hand.
+// wiring each algorithm by hand; every entry builds, runs, and verifies on
+// both engines.
 func Catalog() []Spec {
 	return []Spec{
 		{Name: "prefixsum", BenchN: 1 << 13, New: func(tag string, n int, seed uint64) Algorithm {
@@ -218,6 +96,15 @@ func NewByName(name, tag string, n int, seed uint64) (Algorithm, bool) {
 		}
 	}
 	return nil, false
+}
+
+// CatalogNames returns the workload names, for diagnostics.
+func CatalogNames() []string {
+	var out []string
+	for _, s := range Catalog() {
+		out = append(out, s.Name)
+	}
+	return out
 }
 
 // SortedInput generates n non-decreasing pseudo-random keys — staged input

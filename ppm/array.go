@@ -1,15 +1,11 @@
 package ppm
 
-import (
-	"repro/internal/algos/blockio"
-)
-
 // Array is a typed view of a region of persistent memory: n elements of one
 // word each, element i at At(i). It replaces manual base-plus-offset address
 // arithmetic in programs. Load and Snapshot are harness-side (zero-cost)
 // bulk accessors for staging inputs and reading results; Get, Set, Range,
-// and SetRange are the capsule-side accessors, charged block transfers like
-// any other persistent access.
+// and SetRange are the capsule-side accessors, charged block transfers on
+// the model engine like any other persistent access.
 type Array struct {
 	rt     *Runtime
 	base   Addr
@@ -20,7 +16,7 @@ type Array struct {
 // NewArray allocates a block-aligned persistent array of n words from the
 // shared heap at setup time.
 func (r *Runtime) NewArray(n int) Array {
-	return Array{rt: r, base: r.rt.Machine.HeapAllocBlocks(n), n: n, stride: 1}
+	return Array{rt: r, base: r.eng.heapAllocBlocks(n), n: n, stride: 1}
 }
 
 // NewBlockArray allocates n elements spaced one block apart, so writes to
@@ -29,7 +25,7 @@ func (r *Runtime) NewArray(n int) Array {
 // block-granular in the model.
 func (r *Runtime) NewBlockArray(n int) Array {
 	b := r.BlockWords()
-	return Array{rt: r, base: r.rt.Machine.HeapAllocBlocks(n * b), n: n, stride: b}
+	return Array{rt: r, base: r.eng.heapAllocBlocks(n * b), n: n, stride: b}
 }
 
 // Len returns the number of elements.
@@ -48,38 +44,52 @@ func (a Array) Load(vals []uint64) {
 	if len(vals) != a.n {
 		panic("ppm: Load length mismatch")
 	}
-	mem := a.rt.rt.Machine.Mem
 	for i, v := range vals {
-		mem.Write(a.At(i), v)
+		a.rt.eng.memWrite(a.At(i), v)
 	}
 }
 
 // Snapshot copies the array out of persistent memory (harness-side, free).
 func (a Array) Snapshot() []uint64 {
-	mem := a.rt.rt.Machine.Mem
 	out := make([]uint64, a.n)
 	for i := range out {
-		out[i] = mem.Read(a.At(i))
+		out[i] = a.rt.eng.memRead(a.At(i))
 	}
 	return out
 }
 
-// Get reads element i from capsule code (one block transfer).
+// Get reads element i from capsule code (one block transfer on the model
+// engine).
 func (a Array) Get(c Ctx, i int) uint64 {
 	if i < 0 || i >= a.n {
 		panic("ppm: array index out of range")
 	}
-	return blockio.ReadAt(c.e, a.rt.BlockWords(), a.base, i*a.stride)
+	return c.e.ReadAt(a.base, i*a.stride)
 }
 
 // Set writes element i from capsule code (one transfer).
 func (a Array) Set(c Ctx, i int, v uint64) { c.e.Write(a.At(i), v) }
 
 // Range streams elements [lo, hi) through fn using one block transfer per
-// touched block. Only for word-packed arrays (NewArray, Alloc).
+// touched block on the model engine. Only for word-packed arrays (NewArray,
+// Alloc).
 func (a Array) Range(c Ctx, lo, hi int, fn func(i int, v uint64)) {
 	a.needPacked()
-	blockio.ReadRange(c.e, a.rt.BlockWords(), a.base, lo, hi, fn)
+	c.e.ReadRange(a.base, lo, hi, fn)
+}
+
+// Slice copies elements [lo, hi) into a fresh capsule-local slice — the
+// bulk read path of leaf sorts and merges. Charged like Range on the model
+// engine; on the native engine it is a tight copy loop with no per-element
+// dispatch. Only for word-packed arrays.
+func (a Array) Slice(c Ctx, lo, hi int) []uint64 {
+	a.needPacked()
+	if lo < 0 || hi > a.n || lo > hi {
+		panic("ppm: array range out of range")
+	}
+	dst := make([]uint64, hi-lo)
+	c.e.ReadInto(a.base, lo, hi, dst)
+	return dst
 }
 
 // SetRange writes vals over elements [lo, lo+len(vals)): full blocks by
@@ -88,7 +98,7 @@ func (a Array) Range(c Ctx, lo, hi int, fn func(i int, v uint64)) {
 // arrays.
 func (a Array) SetRange(c Ctx, lo int, vals []uint64) {
 	a.needPacked()
-	blockio.WriteRange(c.e, a.rt.BlockWords(), a.base, lo, lo+len(vals), vals)
+	c.e.WriteRange(a.base, lo, lo+len(vals), vals)
 }
 
 func (a Array) needPacked() {

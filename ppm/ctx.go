@@ -4,13 +4,14 @@ import (
 	"repro/internal/capsule"
 )
 
-// Ctx is the typed view of the machine a capsule runs against. Every method
-// that touches persistent memory is a potential fault point and costs one
-// unit per block transferred; everything else is free, matching the model's
-// cost accounting. A capsule body must end with exactly one control
-// transfer: Done, Fork, ForkThen, ParallelFor, Then, or Halt.
+// Ctx is the typed view of the machine a capsule runs against. On the model
+// engine every method that touches persistent memory is a potential fault
+// point and costs one unit per block transferred; on the native engine the
+// same operations execute directly on hardware. A capsule body must end
+// with exactly one control transfer: Done, Fork, ForkThen, ParallelFor,
+// Seq, Then, or Halt.
 type Ctx struct {
-	e  capsule.Env
+	e  capCtx
 	rt *Runtime
 }
 
@@ -43,10 +44,12 @@ func (c Ctx) Rand() uint64 { return c.e.Rand() }
 
 // ---- persistent memory ----
 
-// Read performs an external read of the word at a (one transfer).
+// Read performs an external read of the word at a (one transfer on the
+// model engine).
 func (c Ctx) Read(a Addr) uint64 { return c.e.Read(a) }
 
-// Write performs an external write of the word at a (one transfer).
+// Write performs an external write of the word at a (one transfer on the
+// model engine).
 func (c Ctx) Write(a Addr, v uint64) { c.e.Write(a, v) }
 
 // CAM is compare-and-modify: a CAS whose outcome is deliberately not
@@ -54,22 +57,23 @@ func (c Ctx) Write(a Addr, v uint64) { c.e.Write(a, v) }
 // Decide the outcome by reading the target in a LATER capsule.
 func (c Ctx) CAM(a Addr, old, new uint64) { c.e.CAM(a, old, new) }
 
-// Alloc bumps the capsule chain's deterministic allocator by n words and
-// returns them as an Array. Replays return the same addresses, so scratch
-// allocated here is write-after-read conflict free by construction. Fresh
-// words read as zero.
+// Alloc reserves n fresh zeroed words and returns them as an Array. On the
+// model engine this bumps the capsule chain's deterministic allocator, so
+// replays return the same addresses and scratch allocated here is
+// write-after-read conflict free by construction.
 func (c Ctx) Alloc(n int) Array {
 	return Array{rt: c.rt, base: c.e.Alloc(n), n: n, stride: 1}
 }
 
 // Raw exposes the untyped capsule environment for code that needs the full
-// machine interface (block transfers, ephemeral memory, install primitives).
-func (c Ctx) Raw() capsule.Env { return c.e }
+// simulated-machine interface (block transfers, ephemeral memory, install
+// primitives). Model engine only; returns nil on the native engine.
+func (c Ctx) Raw() capsule.Env { return c.e.ModelEnv() }
 
 // ---- control transfer ----
 
 // Call pairs a registered function with its arguments, for Fork, ForkThen,
-// ParallelFor, Then, and Run.
+// ParallelFor, Seq, Then, and Run.
 type Call struct {
 	fn   FuncRef
 	args []uint64
@@ -84,7 +88,7 @@ func (f FuncRef) Call(args ...any) Call {
 // Done finishes the current task, handing control to its continuation (the
 // enclosing join, or the computation's finish). Must be the capsule's final
 // action.
-func (c Ctx) Done() { c.rt.forkJoin().TaskDone(c.e) }
+func (c Ctx) Done() { c.e.Done() }
 
 // Halt stops the executing processor's run loop after this capsule. Only
 // for RunOnAll-style manual chains; scheduler tasks end with Done.
@@ -93,8 +97,22 @@ func (c Ctx) Halt() { c.e.Halt() }
 // Then installs next as this capsule's successor in the same thread,
 // preserving the current continuation — the sequencing idiom for multi-phase
 // capsules. Must be the capsule's final action.
-func (c Ctx) Then(next Call) {
-	c.e.Install(c.e.NewClosure(next.fn.fid, c.e.Cont(), next.args...))
+func (c Ctx) Then(next Call) { c.e.Then(next.fn.fid, next.args) }
+
+// Seq runs the calls strictly one after another: each call's entire
+// computation — including everything it forks — completes before the next
+// call starts, and the last one hands control to this capsule's
+// continuation. This is the phase-chaining idiom multi-pass algorithms use
+// (sort chunks, then count, then scatter, ...). Must be the capsule's final
+// action.
+func (c Ctx) Seq(calls ...Call) {
+	fids := make([]capsule.FuncID, len(calls))
+	argss := make([][]uint64, len(calls))
+	for i, cl := range calls {
+		fids[i] = cl.fn.fid
+		argss[i] = cl.args
+	}
+	c.e.Seq(fids, argss)
 }
 
 // Fork runs left and right in parallel and, when both have finished,
@@ -102,9 +120,7 @@ func (c Ctx) Then(next Call) {
 // stealable; the right child continues in the current thread. Must be the
 // capsule's final action.
 func (c Ctx) Fork(left, right Call) {
-	fj := c.rt.forkJoin()
-	fj.Fork2(c.e, left.fn.fid, left.args, right.fn.fid, right.args,
-		fj.NoopClosure(c.e, c.e.Cont()))
+	c.e.Fork(left.fn.fid, left.args, right.fn.fid, right.args, 0, nil, false)
 }
 
 // ForkThen runs left and right in parallel; when both have finished, join
@@ -112,9 +128,8 @@ func (c Ctx) Fork(left, right Call) {
 // continues with this capsule's continuation. Must be the capsule's final
 // action.
 func (c Ctx) ForkThen(left, right, join Call) {
-	fj := c.rt.forkJoin()
-	jc := c.e.NewClosure(join.fn.fid, c.e.Cont(), join.args...)
-	fj.Fork2(c.e, left.fn.fid, left.args, right.fn.fid, right.args, jc)
+	c.e.Fork(left.fn.fid, left.args, right.fn.fid, right.args,
+		join.fn.fid, join.args, true)
 }
 
 // ParallelFor runs body over [lo, hi) as a balanced fork-join tree with at
@@ -130,6 +145,5 @@ func (c Ctx) ParallelFor(body FuncRef, lo, hi, grain int, extra ...any) {
 	for len(words) < 2 {
 		words = append(words, 0)
 	}
-	c.rt.forkJoin().ParallelFor(c.e, body.fid, lo, hi, grain,
-		words[0], words[1], c.e.Cont())
+	c.e.ParallelFor(body.fid, lo, hi, grain, words[0], words[1])
 }

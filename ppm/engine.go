@@ -1,0 +1,215 @@
+package ppm
+
+import (
+	"fmt"
+
+	"repro/internal/algos/blockio"
+	"repro/internal/capsule"
+	"repro/internal/core"
+	"repro/internal/forkjoin"
+	"repro/internal/machine"
+	"repro/internal/pmem"
+)
+
+// Engine names an execution backend.
+//
+//   - EngineModel is the faithful Parallel-PM simulator: per-block cost
+//     accounting, fault injection, capsule replay, the WAR checker. Use it
+//     to measure the model's work/depth/capsule bounds and to test fault
+//     tolerance.
+//   - EngineNative is a real goroutine-per-processor work-stealing runtime
+//     (internal/native) executing the same programs directly on hardware —
+//     orders of magnitude faster, with optional capsule-boundary
+//     persistence points, but no fault injection and word-granular (not
+//     block-granular) access counters.
+//
+// Programs written against Ctx and Array run on either engine unchanged.
+type Engine string
+
+const (
+	// EngineModel selects the simulated Parallel-PM machine (the default).
+	EngineModel Engine = "model"
+	// EngineNative selects the goroutine work-stealing hardware backend.
+	EngineNative Engine = "native"
+)
+
+// ParseEngine converts a string (e.g. a -engine flag value) to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case EngineModel, EngineNative:
+		return Engine(s), nil
+	}
+	return "", fmt.Errorf("ppm: unknown engine %q (valid: %q, %q)", s, EngineModel, EngineNative)
+}
+
+// engine is the backend seam: everything a Runtime needs from its execution
+// substrate. Both implementations present the same word-addressable memory,
+// function registry, and fork-join execution; they differ in what runs
+// underneath (simulated machine vs. goroutines).
+type engine interface {
+	name() Engine
+	register(name string, fn Func, rt *Runtime) FuncRef
+	run(root FuncRef, args []uint64) bool
+	runOnAll(fn FuncRef, args []uint64)
+	heapAllocBlocks(n int) Addr
+	memRead(a Addr) uint64
+	memWrite(a Addr, v uint64)
+	engineStats() Stats
+	procs() int
+	blockWords() int
+	warViolations() []string
+	machine() *machine.Machine // nil on engines without a model machine
+}
+
+// capCtx is the per-capsule execution surface Ctx dispatches through — the
+// engine-neutral analogue of capsule.Env. The model implementation charges
+// block transfers and is subject to fault injection; the native one runs on
+// hardware.
+type capCtx interface {
+	Arg(i int) uint64
+	NArgs() int
+	ProcID() int
+	NumProcs() int
+	Rand() uint64
+	Read(a pmem.Addr) uint64
+	Write(a pmem.Addr, v uint64)
+	CAM(a pmem.Addr, old, new uint64)
+	Alloc(n int) pmem.Addr
+	ReadAt(base pmem.Addr, idx int) uint64
+	ReadRange(base pmem.Addr, lo, hi int, fn func(idx int, v uint64))
+	ReadInto(base pmem.Addr, lo, hi int, dst []uint64)
+	WriteRange(base pmem.Addr, lo, hi int, vals []uint64)
+	Done()
+	Halt()
+	Then(fid capsule.FuncID, args []uint64)
+	Seq(fids []capsule.FuncID, argss [][]uint64)
+	Fork(lf capsule.FuncID, la []uint64, rf capsule.FuncID, ra []uint64,
+		jf capsule.FuncID, ja []uint64, hasJoin bool)
+	ParallelFor(body capsule.FuncID, lo, hi, grain int, a0, a1 uint64)
+	ModelEnv() capsule.Env // nil on engines without a model machine
+}
+
+// ---- model engine ----
+
+// modelEngine wraps the assembled simulator (machine + scheduler +
+// fork-join) behind the engine seam.
+type modelEngine struct {
+	rt *core.Runtime
+}
+
+func newModelEngine(c config) *modelEngine {
+	return &modelEngine{rt: core.New(core.Config{
+		P:            c.procs,
+		BlockWords:   c.blockWords,
+		EphWords:     c.ephWords,
+		MemWords:     c.memWords,
+		PoolWords:    c.poolWords,
+		DequeEntries: c.dequeEntries,
+		FaultRate:    c.faultRate,
+		Seed:         c.seed,
+		Check:        c.warCheck,
+		Injector:     c.buildInjector(),
+	})}
+}
+
+func (m *modelEngine) name() Engine { return EngineModel }
+
+func (m *modelEngine) register(name string, fn Func, rt *Runtime) FuncRef {
+	b := m.rt.Machine.BlockWords()
+	fid := m.rt.Machine.Registry.Register(name, func(e capsule.Env) {
+		fn(Ctx{e: &modelCtx{e: e, fj: m.rt.FJ, b: b}, rt: rt})
+	})
+	return FuncRef{fid: fid}
+}
+
+func (m *modelEngine) run(root FuncRef, args []uint64) bool {
+	return m.rt.Run(root.fid, args...)
+}
+
+func (m *modelEngine) runOnAll(fn FuncRef, args []uint64) {
+	mach := m.rt.Machine
+	for p := 0; p < mach.P(); p++ {
+		mach.SetRestart(p, mach.BuildClosure(p, fn.fid, pmem.Nil, args...))
+	}
+	mach.Run()
+}
+
+func (m *modelEngine) heapAllocBlocks(n int) Addr { return m.rt.Machine.HeapAllocBlocks(n) }
+func (m *modelEngine) memRead(a Addr) uint64      { return m.rt.Machine.Mem.Read(a) }
+func (m *modelEngine) memWrite(a Addr, v uint64)  { m.rt.Machine.Mem.Write(a, v) }
+func (m *modelEngine) engineStats() Stats         { return m.rt.Stats() }
+func (m *modelEngine) procs() int                 { return m.rt.Machine.P() }
+func (m *modelEngine) blockWords() int            { return m.rt.Machine.BlockWords() }
+func (m *modelEngine) warViolations() []string    { return m.rt.Machine.WARViolations() }
+func (m *modelEngine) machine() *machine.Machine  { return m.rt.Machine }
+
+// modelCtx adapts capsule.Env + the fork-join layer to the capCtx surface.
+// Every persistent access below is charged block transfers and is a
+// potential fault point, exactly as before the engine split.
+type modelCtx struct {
+	e  capsule.Env
+	fj *forkjoin.FJ
+	b  int
+}
+
+func (m *modelCtx) Arg(i int) uint64                 { return m.e.Arg(i) }
+func (m *modelCtx) NArgs() int                       { return m.e.NArgs() }
+func (m *modelCtx) ProcID() int                      { return m.e.ProcID() }
+func (m *modelCtx) NumProcs() int                    { return m.e.NumProcs() }
+func (m *modelCtx) Rand() uint64                     { return m.e.Rand() }
+func (m *modelCtx) Read(a pmem.Addr) uint64          { return m.e.Read(a) }
+func (m *modelCtx) Write(a pmem.Addr, v uint64)      { m.e.Write(a, v) }
+func (m *modelCtx) CAM(a pmem.Addr, old, new uint64) { m.e.CAM(a, old, new) }
+func (m *modelCtx) Alloc(n int) pmem.Addr            { return m.e.Alloc(n) }
+func (m *modelCtx) ModelEnv() capsule.Env            { return m.e }
+
+func (m *modelCtx) ReadAt(base pmem.Addr, idx int) uint64 {
+	return blockio.ReadAt(m.e, m.b, base, idx)
+}
+
+func (m *modelCtx) ReadRange(base pmem.Addr, lo, hi int, fn func(int, uint64)) {
+	blockio.ReadRange(m.e, m.b, base, lo, hi, fn)
+}
+
+func (m *modelCtx) ReadInto(base pmem.Addr, lo, hi int, dst []uint64) {
+	blockio.ReadRange(m.e, m.b, base, lo, hi, func(idx int, v uint64) { dst[idx-lo] = v })
+}
+
+func (m *modelCtx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {
+	blockio.WriteRange(m.e, m.b, base, lo, hi, vals)
+}
+
+func (m *modelCtx) Done() { m.fj.TaskDone(m.e) }
+func (m *modelCtx) Halt() { m.e.Halt() }
+
+func (m *modelCtx) Then(fid capsule.FuncID, args []uint64) {
+	m.e.Install(m.e.NewClosure(fid, m.e.Cont(), args...))
+}
+
+func (m *modelCtx) Seq(fids []capsule.FuncID, argss [][]uint64) {
+	if len(fids) == 0 {
+		m.Done()
+		return
+	}
+	cont := m.e.Cont()
+	for i := len(fids) - 1; i >= 1; i-- {
+		cont = m.e.NewClosure(fids[i], cont, argss[i]...)
+	}
+	m.e.Install(m.e.NewClosure(fids[0], cont, argss[0]...))
+}
+
+func (m *modelCtx) Fork(lf capsule.FuncID, la []uint64, rf capsule.FuncID, ra []uint64,
+	jf capsule.FuncID, ja []uint64, hasJoin bool) {
+
+	var jc pmem.Addr
+	if hasJoin {
+		jc = m.e.NewClosure(jf, m.e.Cont(), ja...)
+	} else {
+		jc = m.fj.NoopClosure(m.e, m.e.Cont())
+	}
+	m.fj.Fork2(m.e, lf, la, rf, ra, jc)
+}
+
+func (m *modelCtx) ParallelFor(body capsule.FuncID, lo, hi, grain int, a0, a1 uint64) {
+	m.fj.ParallelFor(m.e, body, lo, hi, grain, a0, a1, m.e.Cont())
+}

@@ -1,0 +1,180 @@
+package ppm_test
+
+import (
+	"testing"
+
+	"repro/ppm"
+)
+
+// catalogSize picks a small-but-meaningful test size per workload.
+func catalogSize(name string) int {
+	if name == "matmul" {
+		return 16
+	}
+	return 1 << 10
+}
+
+// TestCatalogBothEngines is the proof the engine abstraction is real: every
+// catalog workload builds, runs, and verifies on the model engine and on the
+// native engine with zero per-algorithm changes.
+func TestCatalogBothEngines(t *testing.T) {
+	for _, eng := range []ppm.Engine{ppm.EngineModel, ppm.EngineNative} {
+		for _, spec := range ppm.Catalog() {
+			spec := spec
+			t.Run(string(eng)+"/"+spec.Name, func(t *testing.T) {
+				rt := ppm.New(
+					ppm.WithEngine(eng),
+					ppm.WithProcs(4),
+					ppm.WithSeed(11),
+					ppm.WithMemWords(1<<24),
+					ppm.WithPoolWords(1<<21),
+				)
+				if rt.Engine() != eng {
+					t.Fatalf("engine = %q, want %q", rt.Engine(), eng)
+				}
+				algo := spec.New("both", catalogSize(spec.Name), 21)
+				algo.Build(rt)
+				if !algo.Run() {
+					t.Fatal("did not complete")
+				}
+				if err := algo.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				if s := rt.Stats(); s.Capsules == 0 || s.Work == 0 {
+					t.Errorf("suspicious stats: %+v", s)
+				}
+			})
+		}
+	}
+}
+
+// TestCatalogFaultSweep runs every catalog workload on the model engine
+// under a no-fault, a soft-fault, and a scripted hard-fault injector, and
+// asserts Verify passes in all of them — the fault-path coverage the
+// tree-sum and sort tests used to carry alone.
+func TestCatalogFaultSweep(t *testing.T) {
+	scenarios := []struct {
+		name string
+		opts []ppm.Option
+	}{
+		{"nofault", nil},
+		{"soft", []ppm.Option{ppm.WithFaultRate(0.003)}},
+		{"softscripted", []ppm.Option{ppm.WithSoftFaultAt(0, 100), ppm.WithSoftFaultAt(1, 250)}},
+		{"hard", []ppm.Option{ppm.WithHardFault(1, 500), ppm.WithFaultRate(0.001)}},
+	}
+	for _, sc := range scenarios {
+		for _, spec := range ppm.Catalog() {
+			sc, spec := sc, spec
+			t.Run(sc.name+"/"+spec.Name, func(t *testing.T) {
+				opts := append([]ppm.Option{
+					ppm.WithProcs(2),
+					ppm.WithSeed(5),
+					ppm.WithEphWords(1 << 13),
+					ppm.WithMemWords(1 << 24),
+					ppm.WithPoolWords(1 << 21),
+				}, sc.opts...)
+				rt := ppm.New(opts...)
+				algo := spec.New("sweep", catalogSize(spec.Name), 9)
+				algo.Build(rt)
+				if !algo.Run() {
+					t.Fatal("did not complete")
+				}
+				if err := algo.Verify(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineParityTreeSum runs one hand-written Ctx program on both engines
+// and checks they agree exactly — including RunOnAll-style manual chains.
+func TestEngineParityTreeSum(t *testing.T) {
+	const n, leaf = 2048, 32
+	results := map[ppm.Engine]uint64{}
+	for _, eng := range []ppm.Engine{ppm.EngineModel, ppm.EngineNative} {
+		rt := ppm.New(ppm.WithEngine(eng), ppm.WithProcs(4), ppm.WithSeed(3))
+		in := rt.NewArray(n)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(i%31 + 1)
+		}
+		in.Load(vals)
+		out := rt.NewArray(1)
+		combine := rt.Register("parity/combine", func(c ppm.Ctx) {
+			c.Write(c.Addr(2), c.Read(c.Addr(0))+c.Read(c.Addr(1)))
+			c.Done()
+		})
+		var sum ppm.FuncRef
+		sum = rt.Register("parity/sum", func(c ppm.Ctx) {
+			lo, hi, dst := c.Int(0), c.Int(1), c.Addr(2)
+			if hi-lo <= leaf {
+				var acc uint64
+				in.Range(c, lo, hi, func(_ int, v uint64) { acc += v })
+				c.Write(dst, acc)
+				c.Done()
+				return
+			}
+			mid := (lo + hi) / 2
+			s := c.Alloc(2)
+			c.ForkThen(
+				sum.Call(lo, mid, s.At(0)),
+				sum.Call(mid, hi, s.At(1)),
+				combine.Call(s.At(0), s.At(1), dst))
+		})
+		if !rt.Run(sum, 0, n, out.At(0)) {
+			t.Fatalf("%s: did not complete", eng)
+		}
+		results[eng] = out.Snapshot()[0]
+	}
+	if results[ppm.EngineModel] != results[ppm.EngineNative] {
+		t.Fatalf("engines disagree: model=%d native=%d",
+			results[ppm.EngineModel], results[ppm.EngineNative])
+	}
+}
+
+// TestNativePersist checks the capsule-boundary persistence-point option:
+// the run still verifies, persistence points are counted, and each one is a
+// committed write visible in the stats.
+func TestNativePersist(t *testing.T) {
+	run := func(persist bool) (ppm.Stats, int64) {
+		opts := []ppm.Option{ppm.WithEngine(ppm.EngineNative), ppm.WithProcs(2), ppm.WithSeed(7)}
+		if persist {
+			opts = append(opts, ppm.WithNativePersist())
+		}
+		rt := ppm.New(opts...)
+		algo, _ := ppm.NewByName("mergesort", "persist", 1<<11, 4)
+		algo.Build(rt)
+		if !algo.Run() {
+			t.Fatal("did not complete")
+		}
+		if err := algo.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats(), rt.PersistPoints()
+	}
+	plain, pp0 := run(false)
+	persisted, pp := run(true)
+	if pp0 != 0 {
+		t.Errorf("persist points without WithNativePersist = %d, want 0", pp0)
+	}
+	if pp == 0 {
+		t.Error("expected persistence points to be recorded")
+	}
+	if persisted.Writes <= plain.Writes {
+		t.Errorf("persistence points should add committed writes: %d <= %d",
+			persisted.Writes, plain.Writes)
+	}
+}
+
+// TestParseEngine checks flag-value parsing.
+func TestParseEngine(t *testing.T) {
+	for _, ok := range []string{"model", "native"} {
+		if _, err := ppm.ParseEngine(ok); err != nil {
+			t.Errorf("ParseEngine(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ppm.ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine(warp) should fail")
+	}
+}

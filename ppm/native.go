@@ -1,0 +1,62 @@
+package ppm
+
+import (
+	"repro/internal/machine"
+	"repro/internal/native"
+)
+
+// nativeEngine runs programs on the goroutine work-stealing backend.
+// internal/native.Ctx structurally implements capCtx, so the bridge is a
+// thin translation of configuration and function IDs.
+type nativeEngine struct {
+	rt *native.Runtime
+}
+
+// nativeMemWords sizes the native flat memory when the user did not: the
+// native engine has no closure pools, so the model's pool-heavy default
+// would be wasteful, but arrays and capsule Alloc still share one heap.
+const nativeMemWords = 1 << 23
+
+func newNativeEngine(c config) *nativeEngine {
+	mem := c.memWords
+	if mem <= 0 {
+		mem = nativeMemWords
+	}
+	return &nativeEngine{rt: native.New(native.Config{
+		P:          c.procs,
+		MemWords:   mem,
+		BlockWords: c.blockWords,
+		DequeCap:   c.dequeEntries,
+		Seed:       c.seed,
+		Persist:    c.nativePersist,
+	})}
+}
+
+func (n *nativeEngine) name() Engine { return EngineNative }
+
+func (n *nativeEngine) register(name string, fn Func, rt *Runtime) FuncRef {
+	fid := n.rt.Register(name, func(c *native.Ctx) {
+		fn(Ctx{e: c, rt: rt})
+	})
+	return FuncRef{fid: fid}
+}
+
+func (n *nativeEngine) run(root FuncRef, args []uint64) bool {
+	return n.rt.Run(root.fid, args...)
+}
+
+func (n *nativeEngine) runOnAll(fn FuncRef, args []uint64) {
+	n.rt.RunOnAll(fn.fid, args...)
+}
+
+func (n *nativeEngine) heapAllocBlocks(nw int) Addr { return n.rt.HeapAllocBlocks(nw) }
+func (n *nativeEngine) memRead(a Addr) uint64       { return n.rt.MemRead(a) }
+func (n *nativeEngine) memWrite(a Addr, v uint64)   { n.rt.MemWrite(a, v) }
+func (n *nativeEngine) engineStats() Stats          { return n.rt.Stats() }
+func (n *nativeEngine) procs() int                  { return n.rt.P() }
+func (n *nativeEngine) blockWords() int             { return n.rt.BlockWords() }
+func (n *nativeEngine) warViolations() []string     { return nil }
+func (n *nativeEngine) machine() *machine.Machine   { return nil }
+
+// persistPoints exposes the native persistence-point counter (0 elsewhere).
+func (n *nativeEngine) persistPoints() int64 { return n.rt.PersistPoints() }

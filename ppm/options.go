@@ -14,22 +14,41 @@ type scriptedFault struct {
 }
 
 type config struct {
-	procs        int
-	blockWords   int
-	ephWords     int
-	memWords     int
-	poolWords    int
-	dequeEntries int
-	faultRate    float64
-	seed         uint64
-	warCheck     bool
-	hardAt       map[int]int64
-	scripted     []scriptedFault
+	engine        Engine
+	procs         int
+	blockWords    int
+	ephWords      int
+	memWords      int
+	poolWords     int
+	dequeEntries  int
+	faultRate     float64
+	seed          uint64
+	warCheck      bool
+	nativePersist bool
+	hardAt        map[int]int64
+	scripted      []scriptedFault
 }
 
 func defaultConfig() config {
-	return config{procs: 1}
+	return config{engine: EngineModel, procs: 1}
 }
+
+// WithEngine selects the execution backend: EngineModel (the faithful
+// simulator, the default) or EngineNative (the goroutine work-stealing
+// hardware runtime). Fault-injection options (WithFaultRate, WithHardFault,
+// WithSoftFaultAt) and the WAR checker are model-engine features and are
+// ignored by the native engine, which always executes fault-free — matching
+// the paper's own native experiments, where only fault counts are
+// simulated.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithNativePersist makes the native engine commit a persistence point at
+// every capsule boundary — a committed write of the worker's capsule
+// counter to a dedicated epoch word — so the overhead of capsule-boundary
+// persistence can be measured at hardware speed (the §7 methodology).
+// Ignored by the model engine, whose capsule installs persist by
+// construction.
+func WithNativePersist() Option { return func(c *config) { c.nativePersist = true } }
 
 // WithProcs sets the number of virtual processors P (default 1).
 func WithProcs(p int) Option { return func(c *config) { c.procs = p } }

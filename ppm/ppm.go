@@ -1,17 +1,20 @@
 // Package ppm is the public programming interface of the Parallel Persistent
 // Memory runtime (Blelloch, Gibbons, Gu, McGuffey, Shun — SPAA'18). It wraps
-// the internal machine, scheduler, and fork-join layers behind a small typed
-// surface:
+// the execution backends behind a small typed surface:
 //
-//   - Runtime, built by New with functional options (WithProcs,
-//     WithFaultRate, WithHardFault, ...), owns one simulated Parallel-PM
-//     machine and its fault-tolerant work-stealing scheduler.
+//   - Runtime, built by New with functional options (WithProcs, WithEngine,
+//     WithFaultRate, WithHardFault, ...), owns one execution engine: either
+//     the faithful simulated Parallel-PM machine with its fault-tolerant
+//     work-stealing scheduler (EngineModel, the default), or a real
+//     goroutine-per-processor work-stealing runtime that executes the same
+//     programs directly on hardware (EngineNative).
 //   - Func is capsule code written against Ctx, which provides typed
 //     argument accessors and hides join-cell and continuation plumbing
-//     behind Fork, ForkThen, ParallelFor, and Done.
+//     behind Fork, ForkThen, ParallelFor, Seq, and Done.
 //   - Array is a typed persistent array replacing manual address arithmetic.
 //   - Algorithm is the uniform workload interface (Build/Run/Output/Verify)
-//     with a Catalog of the paper's Section 7 algorithms.
+//     with a Catalog of the paper's Section 7 algorithms; every catalog
+//     workload runs and verifies on both engines unchanged.
 //
 // A minimal program — a parallel tree sum that survives a 1% soft-fault rate
 // and one processor dying mid-run:
@@ -39,59 +42,54 @@
 //	})
 //	rt.Run(sum, 0, n, out.At(0))
 //
-// The examples/ directory holds complete programs; the internal packages
-// remain available for harnesses that need the raw machine (see Machine).
+// Swapping ppm.WithEngine(ppm.EngineNative) into New runs the same program
+// on real goroutines at hardware speed. The examples/ directory holds
+// complete programs; the internal packages remain available for harnesses
+// that need the raw simulated machine (see Machine).
 package ppm
 
 import (
 	"repro/internal/capsule"
-	"repro/internal/core"
-	"repro/internal/forkjoin"
 	"repro/internal/machine"
 	"repro/internal/pmem"
 	"repro/internal/stats"
 )
 
-// Addr is a word address in the simulated persistent memory.
+// Addr is a word address in the runtime's persistent memory.
 type Addr = pmem.Addr
 
-// Stats summarizes the cost counters of a run (transfers, faults, restarts,
-// steals, per-processor maxima).
+// Stats summarizes the cost counters of a run. On the model engine the
+// counters are block transfers (the model's unit cost); on the native
+// engine they are word accesses and wall-clock is the meaningful metric.
 type Stats = stats.Summary
 
-// Runtime is one assembled Parallel-PM system: P virtual processors over a
-// shared persistent memory, a fault injector, the fault-tolerant
-// work-stealing scheduler, and the fork-join layer.
+// Runtime is one assembled Parallel-PM system: P processors over a shared
+// persistent memory, executed by the configured engine.
 type Runtime struct {
-	rt *core.Runtime
+	eng engine
 }
 
-// New assembles a runtime. With no options: one processor, no faults, block
-// size 8, and the write-after-read checker off.
+// New assembles a runtime. With no options: the model engine, one
+// processor, no faults, block size 8, and the write-after-read checker off.
 func New(opts ...Option) *Runtime {
 	c := defaultConfig()
 	for _, o := range opts {
 		o(&c)
 	}
-	rt := core.New(core.Config{
-		P:            c.procs,
-		BlockWords:   c.blockWords,
-		EphWords:     c.ephWords,
-		MemWords:     c.memWords,
-		PoolWords:    c.poolWords,
-		DequeEntries: c.dequeEntries,
-		FaultRate:    c.faultRate,
-		Seed:         c.seed,
-		Check:        c.warCheck,
-		Injector:     c.buildInjector(),
-	})
-	return &Runtime{rt: rt}
+	r := &Runtime{}
+	switch c.engine {
+	case EngineNative:
+		r.eng = newNativeEngine(c)
+	default:
+		r.eng = newModelEngine(c)
+	}
+	return r
 }
 
 // Func is the body of a capsule — the unit of fault-tolerant execution. It
 // must be deterministic in its closure arguments and the persistent memory
 // it reads, and must end with exactly one control transfer (Done, Fork,
-// ForkThen, ParallelFor, Then, or Halt).
+// ForkThen, ParallelFor, Seq, Then, or Halt).
 type Func func(Ctx)
 
 // FuncRef is a handle to a registered capsule function.
@@ -102,18 +100,15 @@ type FuncRef struct {
 // Register adds fn under name and returns its handle. All registration must
 // happen before the runtime runs; duplicate names panic.
 func (r *Runtime) Register(name string, fn Func) FuncRef {
-	fid := r.rt.Machine.Registry.Register(name, func(e capsule.Env) {
-		fn(Ctx{e: e, rt: r})
-	})
-	return FuncRef{fid: fid}
+	return r.eng.register(name, fn, r)
 }
 
-// Run executes root(args...) as the root thread on the scheduler, under the
-// configured fault model, until it completes or every processor has died.
-// It returns true if the computation completed; results written to Arrays
-// are then visible through Snapshot.
+// Run executes root(args...) as the root thread on the engine's scheduler,
+// under the configured fault model, until it completes or (model engine)
+// every processor has died. It returns true if the computation completed;
+// results written to Arrays are then visible through Snapshot.
 func (r *Runtime) Run(root FuncRef, args ...any) bool {
-	return r.rt.Run(root.fid, toWords(args)...)
+	return r.eng.run(root, toWords(args))
 }
 
 // RunOnAll starts fn(args...) independently on every processor — no
@@ -121,34 +116,49 @@ func (r *Runtime) Run(root FuncRef, args ...any) bool {
 // This is the mode for protocol demonstrations (racing CAM claims, manual
 // capsule chains); each capsule chain must end with Halt.
 func (r *Runtime) RunOnAll(fn FuncRef, args ...any) {
-	m := r.rt.Machine
-	words := toWords(args)
-	for p := 0; p < m.P(); p++ {
-		m.SetRestart(p, m.BuildClosure(p, fn.fid, pmem.Nil, words...))
-	}
-	m.Run()
+	r.eng.runOnAll(fn, toWords(args))
 }
 
+// Engine reports which backend this runtime executes on.
+func (r *Runtime) Engine() Engine { return r.eng.name() }
+
 // Stats summarizes the cost counters accumulated so far.
-func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+func (r *Runtime) Stats() Stats { return r.eng.engineStats() }
 
 // WARViolations returns the write-after-read conflicts detected so far.
-// Empty unless WithWARCheck was given.
-func (r *Runtime) WARViolations() []string { return r.rt.Machine.WARViolations() }
+// Empty unless WithWARCheck was given (model engine only).
+func (r *Runtime) WARViolations() []string { return r.eng.warViolations() }
 
-// Procs returns the number of virtual processors P.
-func (r *Runtime) Procs() int { return r.rt.Machine.P() }
+// Procs returns the number of processors P.
+func (r *Runtime) Procs() int { return r.eng.procs() }
 
-// BlockWords returns the persistent-memory block size B in words.
-func (r *Runtime) BlockWords() int { return r.rt.Machine.BlockWords() }
+// BlockWords returns the persistent-memory block size B in words. The
+// native engine keeps the model's block-aligned array layout even though it
+// performs no block transfers, so programs compute identical addresses on
+// both backends.
+func (r *Runtime) BlockWords() int { return r.eng.blockWords() }
 
-// Machine exposes the underlying machine for harnesses that drive the model
-// directly (the RAM/external-memory/cache simulations, watchers, custom
-// injectors). Typed programs should not need it.
-func (r *Runtime) Machine() *machine.Machine { return r.rt.Machine }
+// PersistPoints returns the number of capsule-boundary persistence points
+// the native engine committed (see WithNativePersist); 0 on the model
+// engine, whose capsule installs are persistence points by construction.
+func (r *Runtime) PersistPoints() int64 {
+	if n, ok := r.eng.(*nativeEngine); ok {
+		return n.persistPoints()
+	}
+	return 0
+}
 
-// forkJoin gives package-internal helpers access to the fork-join layer.
-func (r *Runtime) forkJoin() *forkjoin.FJ { return r.rt.FJ }
+// Machine exposes the underlying simulated machine for harnesses that drive
+// the model directly (the RAM/external-memory/cache simulations, watchers,
+// custom injectors). Model engine only: the native engine has no simulated
+// machine, and calling Machine on it panics.
+func (r *Runtime) Machine() *machine.Machine {
+	m := r.eng.machine()
+	if m == nil {
+		panic("ppm: Machine() requires the model engine (WithEngine(EngineModel))")
+	}
+	return m
+}
 
 // toWords converts ergonomic argument lists to closure words. Capsule
 // arguments are uint64 words in the model; ints and Addrs are accepted so

@@ -1,0 +1,619 @@
+package ppm
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/merge"
+	"repro/internal/algos/prefixsum"
+	algosort "repro/internal/algos/sort"
+)
+
+// This file holds the Section 7 workloads written purely against Ctx and
+// Array — no simulated-machine closures, no internal/algos execution code —
+// which is what lets one implementation run unchanged on the model engine
+// (with block-transfer cost accounting and fault injection) and on the
+// native engine (real goroutines at hardware speed). Verification still
+// reuses the internal packages' sequential references.
+//
+// Every capsule below is write-after-read conflict free: anything a capsule
+// writes lives in an array disjoint from everything it read, so replay
+// after a soft fault is idempotent (Theorem 3.1). Multi-phase algorithms
+// chain phases with Ctx.Seq and never sort or accumulate in place — an
+// in-place rewrite interrupted mid-write would feed its own half-written
+// output to the replay.
+
+// ---- shared prefix-sum tree ----
+
+// buildPrefixTree registers an inclusive prefix sum over src into dst (both
+// length n) under the given name prefix and returns its root: the classic
+// up-sweep/down-sweep tree with sequential leaves of leaf elements (0 means
+// the block size B, the work-optimal choice). Per-node partial sums live in
+// a block-spaced array so concurrent writes never share a block.
+func buildPrefixTree(rt *Runtime, name string, n, leaf int, src, dst Array) FuncRef {
+	b := rt.BlockWords()
+	if leaf <= 0 {
+		leaf = b
+	}
+	sums := rt.NewBlockArray(4 * (n/leaf + 2))
+
+	upCmb := rt.Register(name+"/upcmb", func(c Ctx) {
+		node := c.Int(0)
+		l := sums.Get(c, 2*node)
+		r := sums.Get(c, 2*node+1)
+		sums.Set(c, node, l+r)
+		c.Done()
+	})
+	var up FuncRef
+	up = rt.Register(name+"/up", func(c Ctx) {
+		node, lo, hi := c.Int(0), c.Int(1), c.Int(2)
+		if hi-lo <= leaf {
+			var acc uint64
+			src.Range(c, lo, hi, func(_ int, v uint64) { acc += v })
+			sums.Set(c, node, acc)
+			c.Done()
+			return
+		}
+		mid := (lo + hi) / 2
+		c.ForkThen(
+			up.Call(2*node, lo, mid),
+			up.Call(2*node+1, mid, hi),
+			upCmb.Call(node))
+	})
+	var down FuncRef
+	down = rt.Register(name+"/down", func(c Ctx) {
+		node, lo, hi, t := c.Int(0), c.Int(1), c.Int(2), c.Uint(3)
+		if hi-lo <= leaf {
+			vals := make([]uint64, hi-lo)
+			acc := t
+			src.Range(c, lo, hi, func(idx int, v uint64) {
+				acc += v
+				vals[idx-lo] = acc
+			})
+			dst.SetRange(c, lo, vals)
+			c.Done()
+			return
+		}
+		mid := (lo + hi) / 2
+		lsum := sums.Get(c, 2*node)
+		c.Fork(
+			down.Call(2*node, lo, mid, t),
+			down.Call(2*node+1, mid, hi, t+lsum))
+	})
+	return rt.Register(name+"/root", func(c Ctx) {
+		c.Seq(up.Call(1, 0, n), down.Call(1, 0, n, 0))
+	})
+}
+
+// ---- prefix sum (Theorem 7.1) ----
+
+type prefixSumAlgo struct {
+	tag  string
+	leaf int
+	in   []uint64
+
+	rt   *Runtime
+	out  Array
+	root FuncRef
+}
+
+// PrefixSum builds a Theorem 7.1 inclusive prefix sum over input. leaf is
+// the sequential base-case size; 0 selects the work-optimal block size B.
+func PrefixSum(tag string, input []uint64, leaf int) Algorithm {
+	return &prefixSumAlgo{tag: tag, leaf: leaf, in: input}
+}
+
+func (a *prefixSumAlgo) Name() string { return "prefixsum/" + a.tag }
+
+func (a *prefixSumAlgo) Build(rt *Runtime) {
+	n := len(a.in)
+	a.rt = rt
+	in := rt.NewArray(n)
+	in.Load(a.in)
+	a.out = rt.NewArray(n)
+	a.root = buildPrefixTree(rt, "ppm/prefixsum/"+a.tag, n, a.leaf, in, a.out)
+}
+
+func (a *prefixSumAlgo) Run() bool        { return a.rt.Run(a.root) }
+func (a *prefixSumAlgo) Output() []uint64 { return a.out.Snapshot() }
+func (a *prefixSumAlgo) Verify() error {
+	return verifyWords(a.Name(), a.Output(), prefixsum.Sequential(a.in))
+}
+
+// ---- merge (Theorem 7.2) ----
+
+// seqMerge merges two sorted slices (capsule-local, free on the model; a
+// native hot path, so indexed writes and tail copies instead of appends).
+func seqMerge(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a)+len(b))
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+	return out
+}
+
+// registerMergeNode registers the recursive dual-binary-search merge of
+// srcA[alo,ahi) and srcB[blo,bhi) into dst at olo. Splitting the larger
+// side at its midpoint and binary-searching the pivot in the other keeps
+// every level balanced and every capsule's work O(leaf/B + log n).
+func registerMergeNode(rt *Runtime, name string, srcA, srcB, dst Array, leaf int) FuncRef {
+	var node FuncRef
+	node = rt.Register(name, func(c Ctx) {
+		alo, ahi, blo, bhi, olo := c.Int(0), c.Int(1), c.Int(2), c.Int(3), c.Int(4)
+		if (ahi-alo)+(bhi-blo) <= leaf {
+			merged := seqMerge(srcA.Slice(c, alo, ahi), srcB.Slice(c, blo, bhi))
+			dst.SetRange(c, olo, merged)
+			c.Done()
+			return
+		}
+		var amid, bmid int
+		if ahi-alo >= bhi-blo {
+			amid = (alo + ahi) / 2
+			pivot := srcA.Get(c, amid)
+			// First B index with value >= pivot.
+			bmid = blo + sort.Search(bhi-blo, func(i int) bool {
+				return srcB.Get(c, blo+i) >= pivot
+			})
+		} else {
+			bmid = (blo + bhi) / 2
+			pivot := srcB.Get(c, bmid)
+			// First A index with value > pivot.
+			amid = alo + sort.Search(ahi-alo, func(i int) bool {
+				return srcA.Get(c, alo+i) > pivot
+			})
+		}
+		c.Fork(
+			node.Call(alo, amid, blo, bmid, olo),
+			node.Call(amid, ahi, bmid, bhi, olo+(amid-alo)+(bmid-blo)))
+	})
+	return node
+}
+
+type mergeAlgo struct {
+	tag  string
+	a, b []uint64
+
+	rt   *Runtime
+	out  Array
+	node FuncRef
+}
+
+// Merge builds a Theorem 7.2 parallel merge of two sorted inputs.
+func Merge(tag string, a, b []uint64) Algorithm {
+	return &mergeAlgo{tag: tag, a: a, b: b}
+}
+
+func (m *mergeAlgo) Name() string { return "merge/" + m.tag }
+
+func (m *mergeAlgo) Build(rt *Runtime) {
+	m.rt = rt
+	A := rt.NewArray(len(m.a))
+	A.Load(m.a)
+	B := rt.NewArray(len(m.b))
+	B.Load(m.b)
+	m.out = rt.NewArray(len(m.a) + len(m.b))
+	m.node = registerMergeNode(rt, "ppm/merge/"+m.tag+"/node",
+		A, B, m.out, 8*rt.BlockWords())
+}
+
+func (m *mergeAlgo) Run() bool {
+	return m.rt.Run(m.node, 0, len(m.a), 0, len(m.b), 0)
+}
+func (m *mergeAlgo) Output() []uint64 { return m.out.Snapshot() }
+func (m *mergeAlgo) Verify() error {
+	return verifyWords(m.Name(), m.Output(), merge.Sequential(m.a, m.b))
+}
+
+// ---- sorts (Theorem 7.3) ----
+
+type sortAlgo struct {
+	tag    string
+	sample bool
+	mWords int
+	in     []uint64
+
+	rt  *Runtime
+	out Array
+	run func() bool
+}
+
+// MergeSort builds the baseline parallel merge sort; mWords is the
+// ephemeral-memory budget M: sequential base cases sort M elements and the
+// merge tree above them contributes the Theorem 7.3 log(n/M) work factor.
+func MergeSort(tag string, input []uint64, mWords int) Algorithm {
+	return &sortAlgo{tag: tag, sample: false, mWords: mWords, in: input}
+}
+
+// SampleSort builds the Theorem 7.3 work-optimal sample sort; mWords is the
+// ephemeral-memory budget M (work-optimality needs M > B² and n ≤ M²/B).
+func SampleSort(tag string, input []uint64, mWords int) Algorithm {
+	return &sortAlgo{tag: tag, sample: true, mWords: mWords, in: input}
+}
+
+func (s *sortAlgo) Name() string {
+	if s.sample {
+		return "samplesort/" + s.tag
+	}
+	return "mergesort/" + s.tag
+}
+
+func (s *sortAlgo) Build(rt *Runtime) {
+	s.rt = rt
+	if s.sample {
+		s.buildSample(rt)
+	} else {
+		s.buildMerge(rt)
+	}
+}
+
+func (s *sortAlgo) Run() bool        { return s.run() }
+func (s *sortAlgo) Output() []uint64 { return s.out.Snapshot() }
+func (s *sortAlgo) Verify() error {
+	return verifyWords(s.Name(), s.Output(), algosort.Sequential(s.in))
+}
+
+// buildMerge: recursive merge sort over ping-pong buffers. Every level
+// reads one buffer and writes the other, so no capsule ever rewrites data
+// it read — leaves sort in capsule-local memory and write out of place.
+func (s *sortAlgo) buildMerge(rt *Runtime) {
+	n := len(s.in)
+	name := "ppm/mergesort/" + s.tag
+	leaf := s.mWords
+	if leaf <= 0 {
+		leaf = 1024
+	}
+	in := rt.NewArray(n)
+	in.Load(s.in)
+	s.out = rt.NewArray(n)
+	buf := rt.NewArray(n)
+	arr := [2]Array{s.out, buf}
+
+	// mgNode selected by dst: reads arr[1-dst], writes arr[dst].
+	mg := [2]FuncRef{
+		registerMergeNode(rt, name+"/merge0", buf, buf, s.out, leaf),
+		registerMergeNode(rt, name+"/merge1", s.out, s.out, buf, leaf),
+	}
+	mgDispatch := rt.Register(name+"/mgroot", func(c Ctx) {
+		lo, mid, hi, dst := c.Int(0), c.Int(1), c.Int(2), c.Int(3)
+		c.Then(mg[dst].Call(lo, mid, mid, hi, lo))
+	})
+	var ms FuncRef
+	ms = rt.Register(name+"/sort", func(c Ctx) {
+		lo, hi, dst := c.Int(0), c.Int(1), c.Int(2)
+		if hi-lo <= leaf {
+			vals := in.Slice(c, lo, hi)
+			slices.Sort(vals)
+			arr[dst].SetRange(c, lo, vals)
+			c.Done()
+			return
+		}
+		mid := (lo + hi) / 2
+		c.ForkThen(
+			ms.Call(lo, mid, 1-dst),
+			ms.Call(mid, hi, 1-dst),
+			mgDispatch.Call(lo, mid, hi, dst))
+	})
+	s.run = func() bool { return rt.Run(ms, 0, n, 0) }
+}
+
+// buildSample: the paper's one-level sample sort as a seven-phase chain —
+// sort chunks of M, sample each sorted chunk, select splitters, count per
+// (bucket, chunk), prefix-sum the counts into offsets, scatter, and sort
+// each bucket out of place. With k ≈ n/M buckets the count matrix holds
+// (n/M)² entries, which is O(n/B) exactly when n ≤ M²/B — the Theorem 7.3
+// precondition.
+func (s *sortAlgo) buildSample(rt *Runtime) {
+	const oversample = 8
+	n := len(s.in)
+	name := "ppm/samplesort/" + s.tag
+	m := s.mWords
+	if m <= 0 {
+		m = 1024
+	}
+	chunks := (n + m - 1) / m
+	k := chunks // buckets
+
+	in := rt.NewArray(n) // later reused as the scatter staging area
+	in.Load(s.in)
+	parts := rt.NewArray(n) // sorted chunks
+	s.out = rt.NewArray(n)
+	samp := rt.NewArray(chunks * oversample)
+	splitters := rt.NewArray(maxInt(1, k-1))
+	counts := rt.NewArray(chunks * k) // index b*chunks + ci
+	csum := rt.NewArray(chunks * k)
+
+	chunkRange := func(ci int) (int, int) {
+		lo := ci * m
+		hi := lo + m
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	// bucketOf is shared by the count and scatter phases so both see the
+	// exact same partition of a sorted chunk against the splitters.
+	bucketSegments := func(vals, spl []uint64) []int {
+		// Returns k+1 fenceposts into vals: bucket b is vals[f[b]:f[b+1]].
+		f := make([]int, k+1)
+		idx := 0
+		for b := 0; b < k-1; b++ {
+			for idx < len(vals) && vals[idx] < spl[b] {
+				idx++
+			}
+			f[b+1] = idx
+		}
+		f[k] = len(vals)
+		return f
+	}
+
+	sortChunk := rt.Register(name+"/sortChunk", func(c Ctx) {
+		for ci := c.Int(0); ci < c.Int(1); ci++ {
+			lo, hi := chunkRange(ci)
+			vals := in.Slice(c, lo, hi)
+			slices.Sort(vals)
+			parts.SetRange(c, lo, vals)
+		}
+		c.Done()
+	})
+	sampleChunk := rt.Register(name+"/sample", func(c Ctx) {
+		for ci := c.Int(0); ci < c.Int(1); ci++ {
+			lo, hi := chunkRange(ci)
+			vals := make([]uint64, oversample)
+			for t := 0; t < oversample; t++ {
+				pos := lo + (t+1)*(hi-lo)/(oversample+1)
+				if pos >= hi {
+					pos = hi - 1
+				}
+				vals[t] = parts.Get(c, pos)
+			}
+			samp.SetRange(c, ci*oversample, vals)
+		}
+		c.Done()
+	})
+	selectSplitters := rt.Register(name+"/splitters", func(c Ctx) {
+		if k > 1 {
+			all := samp.Slice(c, 0, samp.Len())
+			slices.Sort(all)
+			spl := make([]uint64, k-1)
+			for j := 1; j < k; j++ {
+				spl[j-1] = all[j*len(all)/k]
+			}
+			splitters.SetRange(c, 0, spl)
+		}
+		c.Done()
+	})
+	countChunk := rt.Register(name+"/count", func(c Ctx) {
+		for ci := c.Int(0); ci < c.Int(1); ci++ {
+			lo, hi := chunkRange(ci)
+			spl := splitters.Slice(c, 0, k-1)
+			f := bucketSegments(parts.Slice(c, lo, hi), spl)
+			for b := 0; b < k; b++ {
+				counts.Set(c, b*chunks+ci, uint64(f[b+1]-f[b]))
+			}
+		}
+		c.Done()
+	})
+	psumRoot := buildPrefixTree(rt, name+"/psum", chunks*k, 0, counts, csum)
+	exclusive := func(c Ctx, idx int) int {
+		if idx == 0 {
+			return 0
+		}
+		return int(csum.Get(c, idx-1))
+	}
+	scatterChunk := rt.Register(name+"/scatter", func(c Ctx) {
+		for ci := c.Int(0); ci < c.Int(1); ci++ {
+			lo, hi := chunkRange(ci)
+			spl := splitters.Slice(c, 0, k-1)
+			vals := parts.Slice(c, lo, hi)
+			f := bucketSegments(vals, spl)
+			for b := 0; b < k; b++ {
+				if f[b+1] > f[b] {
+					in.SetRange(c, exclusive(c, b*chunks+ci), vals[f[b]:f[b+1]])
+				}
+			}
+		}
+		c.Done()
+	})
+	sortBucket := rt.Register(name+"/sortBucket", func(c Ctx) {
+		for b := c.Int(0); b < c.Int(1); b++ {
+			start := exclusive(c, b*chunks)
+			end := int(csum.Get(c, (b+1)*chunks-1))
+			if start >= end {
+				continue
+			}
+			vals := in.Slice(c, start, end)
+			slices.Sort(vals)
+			s.out.SetRange(c, start, vals)
+		}
+		c.Done()
+	})
+
+	pfor := func(pname string, body FuncRef, hi int) FuncRef {
+		return rt.Register(name+"/"+pname, func(c Ctx) {
+			c.ParallelFor(body, 0, hi, 1)
+		})
+	}
+	p1 := pfor("p1", sortChunk, chunks)
+	p2 := pfor("p2", sampleChunk, chunks)
+	p4 := pfor("p4", countChunk, chunks)
+	p6 := pfor("p6", scatterChunk, chunks)
+	p7 := pfor("p7", sortBucket, k)
+	root := rt.Register(name+"/root", func(c Ctx) {
+		c.Seq(p1.Call(), p2.Call(), selectSplitters.Call(), p4.Call(),
+			psumRoot.Call(), p6.Call(), p7.Call())
+	})
+	s.run = func() bool { return rt.Run(root) }
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- matrix multiply (Theorem 7.4) ----
+
+type matMulAlgo struct {
+	tag  string
+	dim  int
+	base int
+	a, b []uint64
+
+	rt   *Runtime
+	outC Array
+	mm   FuncRef
+}
+
+// MatMul builds the Theorem 7.4 recursive matrix multiply of two dim×dim
+// matrices (row-major). base is the leaf tile size, playing √M in the
+// W = O(n³/(B√M)) bound; dim must be base times a power of two.
+func MatMul(tag string, dim, base int, a, b []uint64) Algorithm {
+	return &matMulAlgo{tag: tag, dim: dim, base: base, a: a, b: b}
+}
+
+func (m *matMulAlgo) Name() string { return "matmul/" + m.tag }
+
+// scratchNeed returns the scratch words a d×d node's subtree requires: the
+// eight child products (2d² words) plus the children's own subtrees.
+func scratchNeed(d, base int) int {
+	if d <= base {
+		return 0
+	}
+	return 2*d*d + 8*scratchNeed(d/2, base)
+}
+
+// Packing for the add phase's two ParallelFor extra words.
+const (
+	mmOffBits  = 40
+	mmOffMask  = (1 << mmOffBits) - 1
+	mmSelShift = 56
+)
+
+func (m *matMulAlgo) Build(rt *Runtime) {
+	dim, base := m.dim, m.base
+	for d := dim; d > base; d /= 2 {
+		if d%2 != 0 {
+			panic(fmt.Sprintf("ppm: matmul dim %d must be base %d times a power of two", dim, base))
+		}
+	}
+	m.rt = rt
+	name := "ppm/matmul/" + m.tag
+	A := rt.NewArray(dim * dim)
+	A.Load(m.a)
+	B := rt.NewArray(dim * dim)
+	B.Load(m.b)
+	m.outC = rt.NewArray(dim * dim)
+	S := rt.NewArray(maxInt(1, scratchNeed(dim, base)))
+	dsts := [2]Array{m.outC, S}
+
+	// addRow sums one row of two child-product tiles into the destination:
+	// row index space is [0, 2d) — quadrant q = idx/h, row r = idx%h.
+	addRow := rt.Register(name+"/addRow", func(c Ctx) {
+		x0, x1 := c.Uint(2), c.Uint(3)
+		sbase := int(x0 & mmOffMask)
+		d := int((x0 >> mmOffBits) & 0xffff)
+		sel := int(x0 >> mmSelShift)
+		dstOff := int(x1 & mmOffMask)
+		stride := int(x1 >> mmOffBits)
+		h := d / 2
+		for idx := c.Int(0); idx < c.Int(1); idx++ {
+			q, r := idx/h, idx%h
+			qr, qc := q>>1, q&1
+			row := make([]uint64, h)
+			t0 := sbase + 2*q*h*h + r*h
+			S.Range(c, t0, t0+h, func(i int, v uint64) { row[i-t0] = v })
+			t1 := sbase + (2*q+1)*h*h + r*h
+			S.Range(c, t1, t1+h, func(i int, v uint64) { row[i-t1] += v })
+			dsts[sel].SetRange(c, dstOff+(qr*h+r)*stride+qc*h, row)
+		}
+		c.Done()
+	})
+	add := rt.Register(name+"/add", func(c Ctx) {
+		d, sel := c.Int(0), c.Uint(1)
+		dstOff, stride, sbase := c.Uint(2), c.Uint(3), c.Uint(4)
+		c.ParallelFor(addRow, 0, 2*d, 1,
+			sbase|uint64(d)<<mmOffBits|sel<<mmSelShift,
+			dstOff|stride<<mmOffBits)
+	})
+
+	// mm multiplies the d×d submatrices of A at (ar,ac) and B at (br,bc)
+	// into the destination tile (sel 0 = C, 1 = scratch) at dstOff with the
+	// given row stride, using the scratch arena at sbase for its subtree.
+	var mm, spawn FuncRef
+	mm = rt.Register(name+"/mm", func(c Ctx) {
+		ar, ac, br, bc := c.Int(0), c.Int(1), c.Int(2), c.Int(3)
+		d, sel := c.Int(4), c.Int(5)
+		dstOff, stride, sbase := c.Int(6), c.Int(7), c.Int(8)
+		if d <= base {
+			av := make([]uint64, d*d)
+			bv := make([]uint64, d*d)
+			for i := 0; i < d; i++ {
+				o := (ar+i)*dim + ac
+				A.Range(c, o, o+d, func(j int, v uint64) { av[i*d+j-o] = v })
+				o = (br+i)*dim + bc
+				B.Range(c, o, o+d, func(j int, v uint64) { bv[i*d+j-o] = v })
+			}
+			row := make([]uint64, d)
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					var acc uint64
+					for l := 0; l < d; l++ {
+						acc += av[i*d+l] * bv[l*d+j]
+					}
+					row[j] = acc
+				}
+				dsts[sel].SetRange(c, dstOff+i*stride, row)
+			}
+			c.Done()
+			return
+		}
+		c.ForkThen(
+			spawn.Call(0, 4, ar, ac, br, bc, d, sbase),
+			spawn.Call(4, 8, ar, ac, br, bc, d, sbase),
+			add.Call(d, sel, dstOff, stride, sbase))
+	})
+	// spawn fans a node's eight child multiplies out as a binary fork tree.
+	// Child t computes A(qr,s)·B(s,qc) into scratch tile t (h×h, packed).
+	spawn = rt.Register(name+"/spawn", func(c Ctx) {
+		lo, hi := c.Int(0), c.Int(1)
+		ar, ac, br, bc := c.Int(2), c.Int(3), c.Int(4), c.Int(5)
+		d, sbase := c.Int(6), c.Int(7)
+		if hi-lo == 1 {
+			t := lo
+			q, sTerm := t>>1, t&1
+			qr, qc := q>>1, q&1
+			h := d / 2
+			c.Then(mm.Call(
+				ar+qr*h, ac+sTerm*h, br+sTerm*h, bc+qc*h,
+				h, 1, sbase+t*h*h, h,
+				sbase+2*d*d+t*scratchNeed(h, base)))
+			return
+		}
+		mid := (lo + hi) / 2
+		c.Fork(
+			spawn.Call(lo, mid, ar, ac, br, bc, d, sbase),
+			spawn.Call(mid, hi, ar, ac, br, bc, d, sbase))
+	})
+	m.mm = mm
+}
+
+func (m *matMulAlgo) Run() bool {
+	return m.rt.Run(m.mm, 0, 0, 0, 0, m.dim, 0, 0, m.dim, 0)
+}
+func (m *matMulAlgo) Output() []uint64 { return m.outC.Snapshot() }
+func (m *matMulAlgo) Verify() error {
+	return verifyWords(m.Name(), m.Output(), matmul.Native(m.a, m.b, m.dim))
+}
