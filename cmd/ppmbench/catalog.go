@@ -14,11 +14,14 @@ import (
 // zeroing stays off the measured path.
 func catRT(eng ppm.Engine, p, n int) *ppm.Runtime {
 	if eng == ppm.EngineNative {
-		// 8n covers the linear arrays; the quadratic term covers
-		// samplesort's (n/M)^2 count/offset matrices and their prefix-tree
-		// scratch (M = 1024 in the catalog).
+		// 32n covers the linear arrays — including the graph workloads'
+		// CSR (8n arcs at the catalog's 4n-edge default; PageRank loads
+		// the reverse CSR, the others the forward one) plus their
+		// per-vertex working arrays — and the quadratic term covers
+		// samplesort's (n/M)^2 count/offset matrices and their
+		// prefix-tree scratch (M = 1024 in the catalog).
 		ck := n/1024 + 2
-		mem := 1<<20 + 8*n + 8*ck*ck
+		mem := 1<<20 + 32*n + 8*ck*ck
 		return ppm.New(
 			ppm.WithEngine(eng),
 			ppm.WithProcs(p),
@@ -90,21 +93,22 @@ func runCat(eng ppm.Engine) {
 			Verified: verified,
 		})
 	}
-	printSpeedups()
+	printSpeedups("cat")
 }
 
-// printSpeedups emits model/native wall-time ratios once both engines have
-// recorded a workload in this invocation, in recording order.
-func printSpeedups() {
+// printSpeedups emits model/native wall-time ratios for one experiment once
+// both engines have recorded a workload in this invocation, in recording
+// order.
+func printSpeedups(exp string) {
 	native := map[string]float64{}
 	for _, r := range records {
-		if r.Exp == "cat" && r.Verified && ppm.Engine(r.Engine) == ppm.EngineNative {
+		if r.Exp == exp && r.Verified && ppm.Engine(r.Engine) == ppm.EngineNative {
 			native[fmt.Sprintf("%s/n=%d/P=%d", r.Workload, r.N, r.P)] = r.WallMS
 		}
 	}
 	printed := false
 	for _, r := range records {
-		if r.Exp != "cat" || !r.Verified || ppm.Engine(r.Engine) != ppm.EngineModel {
+		if r.Exp != exp || !r.Verified || ppm.Engine(r.Engine) != ppm.EngineModel {
 			continue
 		}
 		key := fmt.Sprintf("%s/n=%d/P=%d", r.Workload, r.N, r.P)

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/ppm"
+	"repro/ppm/graph"
+)
+
+// graph experiment flags (registered in main): which generator, how many
+// vertices, and how many undirected edges. Zero means the per-experiment
+// default. Validated strictly before any experiment runs.
+var (
+	graphKind  string
+	graphVerts int
+	graphEdges int
+)
+
+// graphKinds are the valid -graph values, in display order.
+var graphKinds = []string{"rand", "grid", "rmat"}
+
+// validateGraphFlags rejects bad graph flags up front with the list of
+// valid values — mirroring the -exp rejection, so a typo fails fast instead
+// of panicking mid-benchmark.
+func validateGraphFlags() error {
+	ok := false
+	for _, k := range graphKinds {
+		if graphKind == k {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("ppmbench: unknown graph kind %q; valid -graph values: %v", graphKind, graphKinds)
+	}
+	if graphVerts < 0 {
+		return fmt.Errorf("ppmbench: -vertices must be positive (got %d); 0 selects the default", graphVerts)
+	}
+	if graphEdges < 0 {
+		return fmt.Errorf("ppmbench: -edges must be positive (got %d); 0 selects 4x vertices", graphEdges)
+	}
+	if graphKind == "grid" && graphEdges > 0 {
+		return fmt.Errorf("ppmbench: -edges does not apply to -graph=grid (the mesh fixes the edge count)")
+	}
+	return nil
+}
+
+// benchGraph builds the experiment input from the flags: -graph kind over
+// -vertices vertices and about -edges undirected edges (defaults: rand,
+// 8192, 4x vertices), deterministic in the fixed seed.
+func benchGraph() *graph.Graph {
+	n := graphVerts
+	if n <= 0 {
+		n = 1 << 13
+	}
+	m := graphEdges
+	if m <= 0 {
+		m = 4 * n
+	}
+	g, err := graph.Generate(graphKind, n, m, 777)
+	if err != nil {
+		panic(err) // unreachable: flags validated in main
+	}
+	return g
+}
+
+// graphRT sizes a runtime for a graph workload: the heap must hold one CSR
+// (forward, or reverse for PageRank) plus the per-vertex working arrays,
+// with slack for capsule Allocs.
+func graphRT(eng ppm.Engine, p int, g *graph.Graph) *ppm.Runtime {
+	need := 1<<21 + 12*g.N + 3*g.Arcs()
+	if eng == ppm.EngineNative {
+		return ppm.New(
+			ppm.WithEngine(eng),
+			ppm.WithProcs(p),
+			ppm.WithSeed(42),
+			ppm.WithMemWords(need),
+		)
+	}
+	// The round-structured graph programs spawn millions of small capsules
+	// at bench sizes, and which proc's closure pool they draw from depends
+	// on steal timing — scale the pools with the input so no interleaving
+	// runs one dry.
+	pool := 1<<21 + 16*g.N
+	mem := 1 << 25
+	if pools := p * pool; pools+need > mem {
+		mem = pools + need
+	}
+	return ppm.New(
+		ppm.WithEngine(eng),
+		ppm.WithProcs(p),
+		ppm.WithSeed(42),
+		ppm.WithEphWords(1<<13),
+		ppm.WithMemWords(mem),
+		ppm.WithPoolWords(pool),
+	)
+}
+
+// graphAlgo builds the named workload over g.
+func graphAlgo(workload string, g *graph.Graph) ppm.Algorithm {
+	switch workload {
+	case "bfs":
+		return graph.BFS("bench", g, 0)
+	case "cc":
+		return graph.Components("bench", g)
+	case "pagerank":
+		return graph.PageRank("bench", g, graph.DefaultIters)
+	}
+	panic("ppmbench: unknown graph workload " + workload)
+}
+
+// runGraphWorkload times one workload on one engine over g, prints a table
+// row, and records it under exp for -json.
+func runGraphWorkload(exp, workload string, eng ppm.Engine, g *graph.Graph) {
+	p := benchP
+	if p <= 0 {
+		p = 4
+	}
+	rt := graphRT(eng, p, g)
+	algo := graphAlgo(workload, g)
+	algo.Build(rt)
+	runtime.GC()
+	start := time.Now()
+	ok := algo.Run()
+	wall := time.Since(start)
+	verified := ok
+	result := "ok"
+	if !ok {
+		result = "DIED"
+	} else if err := algo.Verify(); err != nil {
+		verified = false
+		result = "WRONG: " + err.Error()
+	}
+	s := rt.Stats()
+	fmt.Printf("%-10s %-6s %9d %9d %4d %12s %12d %10d %8s\n",
+		workload, graphKind, g.N, g.Arcs(), p, wall.Round(time.Microsecond),
+		s.Work, s.Capsules, result)
+	record(benchRecord{
+		Exp:      exp,
+		Workload: workload,
+		Engine:   string(eng),
+		N:        g.N,
+		P:        p,
+		WallMS:   float64(wall.Microseconds()) / 1000.0,
+		Work:     s.Work,
+		UserWork: s.UserWork,
+		TimeT:    s.MaxProcWork,
+		Capsules: s.Capsules,
+		Steals:   s.Steals,
+		Restarts: s.Restarts,
+		Verified: verified,
+	})
+}
+
+func graphHeader() {
+	fmt.Printf("%-10s %-6s %9s %9s %4s %12s %12s %10s %8s\n",
+		"workload", "graph", "n", "arcs", "P", "wall", "work", "capsules", "result")
+}
+
+// runBFS / runCC / runPageRank — single-workload graph experiments, honoring
+// -graph/-vertices/-edges and -engine.
+func runBFS(eng ppm.Engine) { graphHeader(); runGraphWorkload("bfs", "bfs", eng, benchGraph()) }
+func runCC(eng ppm.Engine)  { graphHeader(); runGraphWorkload("cc", "cc", eng, benchGraph()) }
+func runPageRank(eng ppm.Engine) {
+	graphHeader()
+	runGraphWorkload("pagerank", "pagerank", eng, benchGraph())
+}
+
+// runGraphSweep — the cross-engine graph benchmark: all three workloads over
+// one shared input, timed and verified per engine; with -engine both the
+// second pass prints model/native speedups. Rows are recorded for -json
+// (tracked as BENCH_graph.json).
+func runGraphSweep(eng ppm.Engine) {
+	g := benchGraph()
+	graphHeader()
+	for _, w := range []string{"bfs", "cc", "pagerank"} {
+		runGraphWorkload("graph", w, eng, g)
+	}
+	printSpeedups("graph")
+}

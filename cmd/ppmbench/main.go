@@ -46,6 +46,10 @@ var experiments = []struct {
 	{"a2", "Ablation: capsule granularity vs total work under faults", false, runA2},
 	{"a3", "Extension: asymmetric read/write costs (paper footnote 2)", false, runA3},
 	{"cat", "Engine split: full catalog on model vs native, wall time", true, runCat},
+	{"bfs", "Graph: frontier BFS over CSR (levels + parent tree)", true, runBFS},
+	{"cc", "Graph: label-propagation connected components", true, runCC},
+	{"pagerank", "Graph: pull-style PageRank, bit-exact across engines", true, runPageRank},
+	{"graph", "Graph suite: bfs/cc/pagerank cross-engine sweep", true, runGraphSweep},
 }
 
 // benchRecord is one machine-readable result row (-json output), the format
@@ -84,11 +88,18 @@ func main() {
 	engineFlag := flag.String("engine", "model", "execution backend: model, native, or both")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.IntVar(&benchN, "n", 0, "problem-size override for catalog experiments (0 = defaults)")
-	flag.IntVar(&benchP, "procs", 4, "processor count for the cat experiment")
+	flag.IntVar(&benchP, "procs", 4, "processor count for the cat and graph experiments")
+	flag.StringVar(&graphKind, "graph", "rand", "graph generator for bfs/cc/pagerank/graph: rand, grid, or rmat")
+	flag.IntVar(&graphVerts, "vertices", 0, "vertex count for graph experiments (0 = default 8192)")
+	flag.IntVar(&graphEdges, "edges", 0, "undirected edge count for rand/rmat graphs (0 = 4x vertices)")
 	flag.Parse()
 
 	engines, err := parseEngines(*engineFlag)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := validateGraphFlags(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

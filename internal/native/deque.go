@@ -17,20 +17,36 @@ package native
 
 import "sync/atomic"
 
-// deque is a Chase–Lev-style work-stealing deque over a fixed ring of
-// atomically published task pointers. The owner pushes and pops at the
-// bottom; thieves pop at the top with a CAS. All indices and slots go
-// through sync/atomic (sequentially consistent in Go), which keeps the
-// classic algorithm race-detector-clean without locks.
+// deque is a Chase–Lev work-stealing deque over a growable circular array
+// (the dynamic variant of Chase & Lev, "Dynamic Circular Work-Stealing
+// Deque"). The owner pushes and pops at the bottom; thieves pop at the top
+// with a CAS. All indices, slots, and the buffer pointer go through
+// sync/atomic (sequentially consistent in Go), which keeps the algorithm
+// race-detector-clean without locks.
 //
-// The ring does not grow: push reports failure when full and the caller
-// spills to the runtime's overflow queue. Work-first scheduling keeps the
-// resident size O(spawn depth), so a spill is a rare event, not a hot path.
+// When the ring fills, the owner allocates a buffer of twice the capacity,
+// copies the live logical range [top, bottom) across (same logical indices,
+// new mask), and publishes it — push never fails. A thief racing a growth
+// may read the task pointer from the superseded buffer; that is safe because
+// growth never mutates old buffers, logical slots in [top, bottom) hold
+// identical pointers in both, the CAS on top still decides ownership
+// exactly once, and Go's garbage collector keeps the old buffer alive for
+// as long as any thief can reference it (no ABA, no reclamation races).
 type deque struct {
 	top    atomic.Int64
 	bottom atomic.Int64
-	buf    []atomic.Pointer[task]
-	mask   int64
+	buf    atomic.Pointer[dequeBuf]
+}
+
+// dequeBuf is one immutable-capacity ring: capacity a power of two, slot
+// for logical index i at slots[i&mask].
+type dequeBuf struct {
+	slots []atomic.Pointer[task]
+	mask  int64
+}
+
+func newDequeBuf(capacity int64) *dequeBuf {
+	return &dequeBuf{slots: make([]atomic.Pointer[task], capacity), mask: capacity - 1}
 }
 
 func newDeque(capacity int) *deque {
@@ -38,24 +54,37 @@ func newDeque(capacity int) *deque {
 		capacity = 1 << 13
 	}
 	// Round up to a power of two for mask indexing.
-	c := 1
-	for c < capacity {
+	c := int64(1)
+	for c < int64(capacity) {
 		c <<= 1
 	}
-	return &deque{buf: make([]atomic.Pointer[task], c), mask: int64(c - 1)}
+	d := &deque{}
+	d.buf.Store(newDequeBuf(c))
+	return d
 }
 
-// push appends t at the bottom (owner only). Returns false when the ring is
-// full; the capacity check against top also guarantees a concurrent popTop
-// can never observe a slot being recycled before its CAS claims it.
-func (d *deque) push(t *task) bool {
+// push appends t at the bottom (owner only), growing the ring when it is
+// full — the caller never has to spill work elsewhere.
+func (d *deque) push(t *task) {
 	b := d.bottom.Load()
-	if b-d.top.Load() >= int64(len(d.buf)) {
-		return false
+	top := d.top.Load()
+	buf := d.buf.Load()
+	if b-top >= int64(len(buf.slots)) {
+		buf = d.grow(buf, top, b)
 	}
-	d.buf[b&d.mask].Store(t)
+	buf.slots[b&buf.mask].Store(t)
 	d.bottom.Store(b + 1)
-	return true
+}
+
+// grow publishes a double-capacity buffer holding the logical range
+// [top, b) at unchanged logical indices (owner only).
+func (d *deque) grow(old *dequeBuf, top, b int64) *dequeBuf {
+	next := newDequeBuf(2 * int64(len(old.slots)))
+	for i := top; i < b; i++ {
+		next.slots[i&next.mask].Store(old.slots[i&old.mask].Load())
+	}
+	d.buf.Store(next)
+	return next
 }
 
 // popBottom removes and returns the most recently pushed task (owner only),
@@ -70,7 +99,8 @@ func (d *deque) popBottom() *task {
 		d.bottom.Store(t)
 		return nil
 	}
-	tk := d.buf[b&d.mask].Load()
+	buf := d.buf.Load()
+	tk := buf.slots[b&buf.mask].Load()
 	if b > t {
 		return tk
 	}
@@ -84,14 +114,18 @@ func (d *deque) popBottom() *task {
 
 // popTop steals the oldest task (any goroutine), or returns nil when the
 // deque looks empty or the CAS loses a race. Callers treat nil as "try
-// elsewhere"; there is no retry loop here so steal attempts stay cheap.
+// elsewhere"; there is no retry loop here so steal attempts stay cheap. The
+// slot is read before the CAS: once top moves past it the owner may recycle
+// it, but a pointer read from a superseded buffer stays valid (see type
+// comment).
 func (d *deque) popTop() *task {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
 		return nil
 	}
-	tk := d.buf[t&d.mask].Load()
+	buf := d.buf.Load()
+	tk := buf.slots[t&buf.mask].Load()
 	if !d.top.CompareAndSwap(t, t+1) {
 		return nil
 	}
@@ -106,3 +140,6 @@ func (d *deque) size() int64 {
 	}
 	return n
 }
+
+// capacity reports the current ring size (monitoring and tests).
+func (d *deque) capacity() int64 { return int64(len(d.buf.Load().slots)) }

@@ -24,7 +24,8 @@ type Config struct {
 	// transfers, but arrays keep the model's block-aligned layout so the
 	// same program produces the same addresses on both backends.
 	BlockWords int
-	// DequeCap is the per-worker deque capacity (default 1<<13).
+	// DequeCap is the per-worker deque's initial ring capacity (default
+	// 1<<13); the ring grows by doubling whenever spawn depth exceeds it.
 	DequeCap int
 	// Seed drives steal-victim selection.
 	Seed uint64
@@ -90,7 +91,9 @@ type Runtime struct {
 	workers []*Ctx
 	done    atomic.Bool
 
-	// overflow receives the root task and any spill from a full deque.
+	// overflow receives externally injected tasks (the root task of a run);
+	// worker-spawned tasks always fit their growable deques and never land
+	// here.
 	ovMu     sync.Mutex
 	overflow []*task
 
@@ -380,12 +383,11 @@ func (w *Ctx) execute(t *task) {
 	}
 }
 
-// spawn makes t available to thieves, spilling to the overflow queue when
-// the ring is full.
+// spawn makes t available to thieves. The deque ring grows on demand, so
+// spawned work always lands in the owner's deque — no overflow spill, no
+// lock on the spawn path.
 func (w *Ctx) spawn(t *task) {
-	if !w.dq.push(t) {
-		w.rt.inject(t)
-	}
+	w.dq.push(t)
 }
 
 // resolve delivers one completion to j.
@@ -512,6 +514,26 @@ func (w *Ctx) ReadInto(base pmem.Addr, lo, hi int, dst []uint64) {
 	n := int64(hi - lo)
 	w.reads += n
 	w.taskWork += n
+}
+
+// Gather appends the words of k disjoint spans of base to dst in one tight
+// loop — the batched edge-read path of the graph workloads, where per-span
+// call overhead would dominate the (often tiny) spans themselves.
+func (w *Ctx) Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64 {
+	var n int64
+	for _, s := range spans {
+		lo, hi := s[0], s[1]
+		if lo >= hi {
+			continue
+		}
+		w.rt.check(base + pmem.Addr(lo))
+		w.rt.check(base + pmem.Addr(hi-1))
+		dst = append(dst, w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)]...)
+		n += int64(hi - lo)
+	}
+	w.reads += n
+	w.taskWork += n
+	return dst
 }
 
 // WriteRange writes vals over base[lo,hi).

@@ -155,9 +155,7 @@ func TestDequeLIFOFIFO(t *testing.T) {
 	ts := make([]*task, 6)
 	for i := range ts {
 		ts[i] = &task{args: []uint64{uint64(i)}}
-		if !d.push(ts[i]) {
-			t.Fatal("push failed")
-		}
+		d.push(ts[i])
 	}
 	if got := d.popTop(); got != ts[0] {
 		t.Fatalf("popTop = %v, want task 0", got.args)
@@ -165,11 +163,91 @@ func TestDequeLIFOFIFO(t *testing.T) {
 	if got := d.popBottom(); got != ts[5] {
 		t.Fatalf("popBottom = %v, want task 5", got.args)
 	}
-	// Capacity bound: fill to cap, next push fails.
-	for d.push(&task{}) {
+}
+
+// TestDequeGrowth is the regression test for the old mutex-overflow spill
+// path: pushing past the ring capacity used to fail (and spill to a locked
+// queue); the growable-buffer variant must instead double the ring, keep
+// every task, and preserve LIFO/FIFO order across the growth boundary.
+func TestDequeGrowth(t *testing.T) {
+	const total = 100
+	d := newDeque(8)
+	ts := make([]*task, total)
+	for i := range ts {
+		ts[i] = &task{args: []uint64{uint64(i)}}
+		d.push(ts[i])
 	}
-	if d.size() != 8 {
-		t.Fatalf("size = %d, want full 8", d.size())
+	if d.size() != total {
+		t.Fatalf("size = %d, want %d", d.size(), total)
+	}
+	if c := d.capacity(); c < total {
+		t.Fatalf("capacity = %d, want >= %d after growth", c, total)
+	}
+	// Steal the two oldest (FIFO), pop the rest newest-first (LIFO).
+	if got := d.popTop(); got != ts[0] {
+		t.Fatalf("popTop = %v, want task 0", got.args)
+	}
+	if got := d.popTop(); got != ts[1] {
+		t.Fatalf("popTop = %v, want task 1", got.args)
+	}
+	for i := total - 1; i >= 2; i-- {
+		got := d.popBottom()
+		if got != ts[i] {
+			t.Fatalf("popBottom = %v, want task %d", got, i)
+		}
+	}
+	if d.popBottom() != nil || d.size() != 0 {
+		t.Fatal("deque should be empty")
+	}
+}
+
+// TestDequeGrowthUnderTheft grows the ring while thieves are actively
+// stealing and checks exactly-once delivery: every task is obtained by
+// exactly one side. Run under -race this validates that a thief holding a
+// superseded buffer still resolves its steal correctly.
+func TestDequeGrowthUnderTheft(t *testing.T) {
+	const total = 50_000
+	d := newDeque(8) // tiny initial ring: forces many growths mid-theft
+	var stolen atomic.Int64
+	var wg sync.WaitGroup
+	stop := atomic.Bool{}
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if tk := d.popTop(); tk != nil {
+					stolen.Add(1)
+				}
+			}
+		}()
+	}
+	popped := 0
+	for i := 0; i < total; i++ {
+		d.push(&task{})
+		// Interleave occasional owner pops so bottom moves both ways.
+		if i%17 == 0 {
+			if tk := d.popBottom(); tk != nil {
+				popped++
+			}
+		}
+	}
+	for {
+		tk := d.popBottom()
+		if tk == nil && d.size() == 0 {
+			break
+		}
+		if tk != nil {
+			popped++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for tk := d.popTop(); tk != nil; tk = d.popTop() {
+		stolen.Add(1)
+	}
+	if got := stolen.Load() + int64(popped); got != total {
+		t.Fatalf("delivered %d of %d tasks", got, total)
 	}
 }
 
@@ -193,15 +271,8 @@ func TestDequeStealStress(t *testing.T) {
 			}
 		}()
 	}
-	pushed := 0
-	for pushed < total {
-		if d.push(&task{}) {
-			pushed++
-			continue
-		}
-		if tk := d.popBottom(); tk != nil {
-			executed.Add(1)
-		}
+	for pushed := 0; pushed < total; pushed++ {
+		d.push(&task{})
 	}
 	for {
 		tk := d.popBottom()

@@ -60,12 +60,33 @@ type Spec struct {
 	New func(tag string, n int, seed uint64) Algorithm
 }
 
+// extraSpecs holds catalog entries contributed by other packages via
+// RegisterSpec (the graph subsystem registers bfs/cc/pagerank here).
+var extraSpecs []Spec
+
+// RegisterSpec adds a workload to the catalog. Subsystem packages that build
+// on ppm (and therefore cannot be listed in Catalog directly without an
+// import cycle) call this from init(); importing such a package is what puts
+// its workloads into every catalog-driven benchmark, sweep, and test.
+// Duplicate names panic.
+func RegisterSpec(s Spec) {
+	if s.Name == "" || s.New == nil {
+		panic("ppm: RegisterSpec needs a name and a factory")
+	}
+	for _, have := range Catalog() {
+		if have.Name == s.Name {
+			panic("ppm: duplicate catalog workload " + s.Name)
+		}
+	}
+	extraSpecs = append(extraSpecs, s)
+}
+
 // Catalog returns the standard workload registry — one uniform entry per
-// Section 7 algorithm. Experiments and benchmarks iterate this instead of
-// wiring each algorithm by hand; every entry builds, runs, and verifies on
-// both engines.
+// Section 7 algorithm, plus any subsystem entries added via RegisterSpec.
+// Experiments and benchmarks iterate this instead of wiring each algorithm
+// by hand; every entry builds, runs, and verifies on both engines.
 func Catalog() []Spec {
-	return []Spec{
+	base := []Spec{
 		{Name: "prefixsum", BenchN: 1 << 13, New: func(tag string, n int, seed uint64) Algorithm {
 			return PrefixSum(tag, randWords(n, seed, 1000), 0)
 		}},
@@ -86,6 +107,7 @@ func Catalog() []Spec {
 			return MatMul(tag, n, base, randWords(n*n, seed, 10), randWords(n*n, seed+1, 10))
 		}},
 	}
+	return append(base, extraSpecs...)
 }
 
 // NewByName builds a catalog instance by workload name.

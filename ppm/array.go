@@ -92,6 +92,25 @@ func (a Array) Slice(c Ctx, lo, hi int) []uint64 {
 	return dst
 }
 
+// Gather reads k ranges {[lo, hi)} in one batched operation, appending their
+// elements to dst in span order and returning the extended slice (pass nil
+// to allocate, or reuse a buffer across calls). On the model engine the k
+// spans are issued as a single round of block transfers — each touched block
+// costs one transfer, exactly like k separate Ranges, but as one logical
+// operation; on the native engine the whole batch is one tight copy loop
+// with no per-span dispatch. This is the edge-read primitive of the graph
+// workloads: a frontier leaf gathers the adjacency lists of all its vertices
+// in one call. Only for word-packed arrays.
+func (a Array) Gather(c Ctx, spans [][2]int, dst []uint64) []uint64 {
+	a.needPacked()
+	for _, s := range spans {
+		if s[0] < 0 || s[1] > a.n || s[0] > s[1] {
+			panic("ppm: Gather span out of range")
+		}
+	}
+	return c.e.Gather(a.base, spans, dst)
+}
+
 // SetRange writes vals over elements [lo, lo+len(vals)): full blocks by
 // block transfer, boundary words individually, so concurrent capsules
 // sharing a boundary block never overwrite each other. Only for word-packed

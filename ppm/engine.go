@@ -78,6 +78,7 @@ type capCtx interface {
 	ReadAt(base pmem.Addr, idx int) uint64
 	ReadRange(base pmem.Addr, lo, hi int, fn func(idx int, v uint64))
 	ReadInto(base pmem.Addr, lo, hi int, dst []uint64)
+	Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64
 	WriteRange(base pmem.Addr, lo, hi int, vals []uint64)
 	Done()
 	Halt()
@@ -173,6 +174,23 @@ func (m *modelCtx) ReadRange(base pmem.Addr, lo, hi int, fn func(int, uint64)) {
 
 func (m *modelCtx) ReadInto(base pmem.Addr, lo, hi int, dst []uint64) {
 	blockio.ReadRange(m.e, m.b, base, lo, hi, func(idx int, v uint64) { dst[idx-lo] = v })
+}
+
+// Gather issues the k spans as one batched round of block transfers: each
+// touched block is charged exactly as a ReadRange over that span would
+// charge it, but the batch is a single logical operation of the capsule (one
+// round of concurrent transfers in the model's sense, not k dependent ones).
+func (m *modelCtx) Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64 {
+	for _, s := range spans {
+		lo, hi := s[0], s[1]
+		if lo >= hi {
+			continue
+		}
+		at := len(dst)
+		dst = append(dst, make([]uint64, hi-lo)...)
+		blockio.ReadRange(m.e, m.b, base, lo, hi, func(idx int, v uint64) { dst[at+idx-lo] = v })
+	}
+	return dst
 }
 
 func (m *modelCtx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {

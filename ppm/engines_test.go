@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"repro/ppm"
+	// Importing the graph subsystem registers bfs/cc/pagerank in the
+	// catalog, so the cross-engine and fault sweeps below cover them too.
+	_ "repro/ppm/graph"
 )
 
 // catalogSize picks a small-but-meaningful test size per workload.

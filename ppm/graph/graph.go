@@ -1,0 +1,263 @@
+// Package graph is the engine-portable parallel graph subsystem of the
+// Parallel-PM runtime: a compressed-sparse-row adjacency layout stored in
+// ppm.Arrays, deterministic generators (uniform random, grid, RMAT-style
+// power-law), and three frontier/round-structured algorithms — BFS,
+// label-propagation connected components, and pull-style PageRank — each
+// packaged as a ppm.Algorithm with self-verification against a sequential
+// reference.
+//
+// Every capsule in this package is write-after-read conflict free, so the
+// same program runs on the model engine (block-transfer cost accounting,
+// fault injection and replay) and on the native goroutine engine unchanged;
+// vertices discovered racily use CAM, the model's only safe read-modify-
+// write. The bulk edge reads go through Array.Gather: a leaf batches the
+// adjacency lists of all its vertices into one multi-range operation, which
+// the model charges as a single round of block transfers and the native
+// engine executes as one tight copy loop.
+//
+// Importing this package (even blank) registers bfs, cc, and pagerank in
+// ppm.Catalog(), so catalog-driven benchmarks, fault sweeps, and tests pick
+// the graph workloads up automatically.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/ppm"
+)
+
+// Graph is a directed graph in compressed-sparse-row form, held host-side
+// until an algorithm's Build loads it into a runtime's persistent memory.
+// The arcs of vertex v are Adj[Offs[v]:Offs[v+1]]. The generators in this
+// package produce symmetric graphs (every undirected edge becomes two arcs),
+// which is what BFS and connectivity want; FromArcs accepts any arc list.
+type Graph struct {
+	N    int
+	Offs []uint64 // length N+1, arc offsets per vertex
+	Adj  []uint64 // arc targets, grouped by source vertex
+}
+
+// FromArcs builds a CSR graph over n vertices from an explicit arc list
+// (counting sort on the source vertex; per-vertex arc order follows the
+// input order, which keeps every downstream computation deterministic).
+func FromArcs(n int, arcs [][2]int) *Graph {
+	offs := make([]uint64, n+1)
+	for _, a := range arcs {
+		if a[0] < 0 || a[0] >= n || a[1] < 0 || a[1] >= n {
+			panic(fmt.Sprintf("graph: arc (%d,%d) out of range for n=%d", a[0], a[1], n))
+		}
+		offs[a[0]+1]++
+	}
+	for v := 0; v < n; v++ {
+		offs[v+1] += offs[v]
+	}
+	adj := make([]uint64, len(arcs))
+	next := make([]uint64, n)
+	copy(next, offs[:n])
+	for _, a := range arcs {
+		adj[next[a[0]]] = uint64(a[1])
+		next[a[0]]++
+	}
+	return &Graph{N: n, Offs: offs, Adj: adj}
+}
+
+// Arcs returns the number of directed arcs (twice the edge count for the
+// symmetric graphs the generators produce).
+func (g *Graph) Arcs() int { return len(g.Adj) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int { return int(g.Offs[v+1] - g.Offs[v]) }
+
+// HasArc reports whether the arc u→v exists (linear scan of u's list).
+func (g *Graph) HasArc(u, v int) bool {
+	for _, w := range g.Adj[g.Offs[u]:g.Offs[u+1]] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Reverse returns the transpose graph (arc u→v becomes v→u), the in-edge
+// CSR pull-style PageRank iterates over.
+func (g *Graph) Reverse() *Graph {
+	offs := make([]uint64, g.N+1)
+	for _, v := range g.Adj {
+		offs[v+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		offs[v+1] += offs[v]
+	}
+	adj := make([]uint64, len(g.Adj))
+	next := make([]uint64, g.N)
+	copy(next, offs[:g.N])
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[g.Offs[u]:g.Offs[u+1]] {
+			adj[next[v]] = uint64(u)
+			next[v]++
+		}
+	}
+	return &Graph{N: g.N, Offs: offs, Adj: adj}
+}
+
+// ---- deterministic generators ----
+
+// Rand generates a symmetric uniform-random graph: m undirected edges drawn
+// as independent endpoint pairs (self-loops discarded, multi-edges kept —
+// they do not affect BFS or connectivity, and PageRank's reference counts
+// them identically). Deterministic in (n, m, seed).
+func Rand(n, m int, seed uint64) *Graph {
+	if n <= 0 {
+		panic("graph: Rand needs n > 0")
+	}
+	x := rng.NewXoshiro256(seed ^ 0x9e3779b97f4a7c15)
+	arcs := make([][2]int, 0, 2*m)
+	for i := 0; i < m; i++ {
+		u, v := x.Intn(n), x.Intn(n)
+		if u == v {
+			continue
+		}
+		arcs = append(arcs, [2]int{u, v}, [2]int{v, u})
+	}
+	return FromArcs(n, arcs)
+}
+
+// Grid generates the rows×cols 4-neighbour mesh (symmetric): the
+// high-diameter workload that stresses round-structured algorithms.
+func Grid(rows, cols int) *Graph {
+	if rows <= 0 || cols <= 0 {
+		panic("graph: Grid needs positive dimensions")
+	}
+	n := rows * cols
+	arcs := make([][2]int, 0, 4*n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				arcs = append(arcs, [2]int{id(r, c), id(r, c+1)}, [2]int{id(r, c+1), id(r, c)})
+			}
+			if r+1 < rows {
+				arcs = append(arcs, [2]int{id(r, c), id(r+1, c)}, [2]int{id(r+1, c), id(r, c)})
+			}
+		}
+	}
+	return FromArcs(n, arcs)
+}
+
+// RMAT generates a symmetric RMAT-style power-law graph (Chakrabarti et al.
+// partition probabilities a=0.57, b=0.19, c=0.19, d=0.05) by recursive
+// quadrant descent over the smallest 2^k ≥ n vertex grid; edges landing on a
+// vertex ≥ n or on the diagonal are discarded, so the result has at most m
+// undirected edges. Deterministic in (n, m, seed).
+func RMAT(n, m int, seed uint64) *Graph {
+	if n <= 0 {
+		panic("graph: RMAT needs n > 0")
+	}
+	scale := 0
+	for 1<<scale < n {
+		scale++
+	}
+	x := rng.NewXoshiro256(seed ^ 0xc2b2ae3d27d4eb4f)
+	arcs := make([][2]int, 0, 2*m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for b := 0; b < scale; b++ {
+			r := x.Float64()
+			switch {
+			case r < 0.57: // quadrant a: top-left
+			case r < 0.76: // b: top-right
+				v |= 1 << b
+			case r < 0.95: // c: bottom-left
+				u |= 1 << b
+			default: // d: bottom-right
+				u |= 1 << b
+				v |= 1 << b
+			}
+		}
+		if u == v || u >= n || v >= n {
+			continue
+		}
+		arcs = append(arcs, [2]int{u, v}, [2]int{v, u})
+	}
+	return FromArcs(n, arcs)
+}
+
+// Generate builds a graph by kind name ("rand", "grid", "rmat") over n
+// vertices and about m undirected edges — the ppmbench flag surface. For
+// "grid", the mesh is the most-square factoring of n and m is ignored.
+func Generate(kind string, n, m int, seed uint64) (*Graph, error) {
+	switch kind {
+	case "rand":
+		return Rand(n, m, seed), nil
+	case "grid":
+		rows := 1
+		for r := 2; r*r <= n; r++ {
+			if n%r == 0 {
+				rows = r
+			}
+		}
+		return Grid(rows, n/rows), nil
+	case "rmat":
+		return RMAT(n, m, seed), nil
+	}
+	return nil, fmt.Errorf("graph: unknown generator %q (valid: rand, grid, rmat)", kind)
+}
+
+// ---- runtime-bound CSR ----
+
+// csr is a graph loaded into a runtime's persistent memory.
+type csr struct {
+	offs ppm.Array // N+1 arc offsets
+	adj  ppm.Array // arc targets
+}
+
+func loadCSR(rt *ppm.Runtime, g *Graph) csr {
+	offs := rt.NewArray(g.N + 1)
+	offs.Load(g.Offs)
+	adj := rt.NewArray(max(1, len(g.Adj)))
+	if len(g.Adj) > 0 {
+		adj.Load(g.Adj)
+	}
+	return csr{offs: offs, adj: adj}
+}
+
+// gatherAdj batches the adjacency lists of the (arbitrary, e.g. frontier)
+// vertices vs into one Gather round: first the 2-word offset pairs of every
+// vertex, then every arc list. It returns the per-vertex spans (into the
+// adjacency array) and the concatenated arc targets. BFS claim leaves use
+// this; contiguous-range leaves use gatherAdjRange below.
+func (cs csr) gatherAdj(c ppm.Ctx, vs []uint64) (spans [][2]int, nbrs []uint64) {
+	ospans := make([][2]int, len(vs))
+	for i, u := range vs {
+		ospans[i] = [2]int{int(u), int(u) + 2}
+	}
+	ovals := cs.offs.Gather(c, ospans, nil)
+	spans = make([][2]int, len(vs))
+	for i := range vs {
+		spans[i] = [2]int{int(ovals[2*i]), int(ovals[2*i+1])}
+	}
+	return spans, cs.adj.Gather(c, spans, nil)
+}
+
+// gatherAdjRange is gatherAdj for a contiguous vertex range [lo, hi): the
+// per-vertex offset pairs collapse into one bulk read of offs[lo, hi], so
+// the model charges ~(hi-lo)/B transfers for the offsets instead of one to
+// two per vertex. The dense scan leaves (cc, pagerank) use this.
+func (cs csr) gatherAdjRange(c ppm.Ctx, lo, hi int) (spans [][2]int, nbrs []uint64) {
+	ovals := cs.offs.Slice(c, lo, hi+1)
+	spans = make([][2]int, hi-lo)
+	for i := range spans {
+		spans[i] = [2]int{int(ovals[i]), int(ovals[i+1])}
+	}
+	return spans, cs.adj.Gather(c, spans, nil)
+}
+
+// iotaVec returns [lo, lo+k) as uint64s.
+func iotaVec(lo, k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = uint64(lo + i)
+	}
+	return out
+}

@@ -87,6 +87,16 @@ func buildPrefixTree(rt *Runtime, name string, n, leaf int, src, dst Array) Func
 	})
 }
 
+// RegisterPrefixSum registers an inclusive prefix sum over src into dst
+// (both length n) under the given name prefix and returns its root call.
+// leaf is the sequential base-case size (0 selects the block size B, the
+// work-optimal choice). This is the building block subsystems reach for when
+// they need a parallel scan inside a larger program — the graph package's
+// frontier compaction calls it once per BFS round.
+func RegisterPrefixSum(rt *Runtime, name string, n, leaf int, src, dst Array) FuncRef {
+	return buildPrefixTree(rt, name, n, leaf, src, dst)
+}
+
 // ---- prefix sum (Theorem 7.1) ----
 
 type prefixSumAlgo struct {
