@@ -1,0 +1,226 @@
+// benchdiff is the CI half of bench-trajectory tracking: it compares two
+// ppmbench -json files row by row and fails on wall-time regressions, and it
+// re-checks the committed anchors' model/native speedup ratios. It is a
+// plain Go tool so the gate is testable locally:
+//
+//	go run ./cmd/benchdiff -old previous.json -new current.json
+//	go run ./cmd/benchdiff -new BENCH_engines.json -anchor mergesort=10
+//
+// A missing -old file is a soft pass (the first run of a branch has no prior
+// artifact); a missing -new file is an error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is the subset of ppmbench's benchRecord that the gate keys and
+// compares on; unknown fields in either direction are ignored, so old
+// artifacts and new schemas diff cleanly.
+type Row struct {
+	Exp      string  `json:"exp"`
+	Workload string  `json:"workload"`
+	Engine   string  `json:"engine"`
+	N        int     `json:"n"`
+	P        int     `json:"p"`
+	WallMS   float64 `json:"wall_ms"`
+	Verified bool    `json:"verified"`
+}
+
+// key identifies a row across runs: same experiment, workload, engine, and
+// problem configuration.
+func (r Row) key() string {
+	return fmt.Sprintf("%s/%s/%s/n=%d/P=%d", r.Exp, r.Workload, r.Engine, r.N, r.P)
+}
+
+// loadRows parses one ppmbench -json file.
+func loadRows(path string) ([]Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// Options tune the row-by-row comparison.
+type Options struct {
+	// Threshold fails a row when new wall > Threshold * old wall.
+	Threshold float64
+	// MinWallMS skips the regression check for rows whose new wall time is
+	// below this floor: sub-millisecond rows on shared CI runners are timer
+	// noise, not trajectories.
+	MinWallMS float64
+}
+
+// Finding is one comparison observation. Only Fatal findings fail the gate;
+// the rest are context (new rows, dropped rows, skipped noise).
+type Finding struct {
+	Key    string
+	Detail string
+	Fatal  bool
+}
+
+func (f Finding) String() string {
+	tag := "note"
+	if f.Fatal {
+		tag = "FAIL"
+	}
+	return fmt.Sprintf("%s  %-44s %s", tag, f.Key, f.Detail)
+}
+
+// Compare diffs the current run's rows against the previous run's, row by
+// row. A row regresses when its wall time grew past the threshold; a row
+// that stopped verifying is always fatal.
+func Compare(old, cur []Row, opt Options) []Finding {
+	prev := make(map[string]Row, len(old))
+	for _, r := range old {
+		prev[r.key()] = r
+	}
+	var out []Finding
+	seen := make(map[string]bool, len(cur))
+	for _, r := range cur {
+		seen[r.key()] = true
+		if !r.Verified {
+			out = append(out, Finding{r.key(), "result no longer verifies", true})
+			continue
+		}
+		o, ok := prev[r.key()]
+		if !ok {
+			out = append(out, Finding{r.key(), "new row (no previous measurement)", false})
+			continue
+		}
+		if !o.Verified || o.WallMS <= 0 {
+			out = append(out, Finding{r.key(), "previous row unusable; skipped", false})
+			continue
+		}
+		ratio := r.WallMS / o.WallMS
+		if ratio > opt.Threshold {
+			// Either side under the floor means the ratio is timer noise: a
+			// noise-low baseline inflates it just as a noise-high current
+			// sample does.
+			if r.WallMS < opt.MinWallMS || o.WallMS < opt.MinWallMS {
+				out = append(out, Finding{r.key(),
+					fmt.Sprintf("%.2fx slower but under %.1fms noise floor; skipped", ratio, opt.MinWallMS), false})
+				continue
+			}
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("regressed %.2fx (%.3fms -> %.3fms, threshold %.2fx)",
+					ratio, o.WallMS, r.WallMS, opt.Threshold), true})
+		}
+	}
+	for _, r := range old {
+		if !seen[r.key()] {
+			out = append(out, Finding{r.key(), "row disappeared from the current run", false})
+		}
+	}
+	return out
+}
+
+// CheckAnchors verifies committed speedup anchors: for each workload, every
+// (exp, n, P) configuration that has both a verified model row and a
+// verified native row must show model/native wall-time speedup of at least
+// the anchored ratio. A workload with no complete pair is fatal — an anchor
+// that cannot be checked is a broken anchor.
+func CheckAnchors(rows []Row, anchors map[string]float64) []Finding {
+	type pairKey struct {
+		exp      string
+		workload string
+		n, p     int
+	}
+	model := map[pairKey]Row{}
+	native := map[pairKey]Row{}
+	for _, r := range rows {
+		if !r.Verified {
+			continue
+		}
+		k := pairKey{r.Exp, r.Workload, r.N, r.P}
+		switch r.Engine {
+		case "model":
+			model[k] = r
+		case "native":
+			native[k] = r
+		}
+	}
+	// Deterministic output order for tests and logs.
+	names := make([]string, 0, len(anchors))
+	for w := range anchors {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, w := range names {
+		min := anchors[w]
+		checked := 0
+		keys := make([]pairKey, 0, len(model))
+		for k := range model {
+			if k.workload == w {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.exp != b.exp {
+				return a.exp < b.exp
+			}
+			if a.n != b.n {
+				return a.n < b.n
+			}
+			return a.p < b.p
+		})
+		for _, k := range keys {
+			m := model[k]
+			nv, ok := native[k]
+			if !ok || nv.WallMS <= 0 {
+				continue
+			}
+			checked++
+			key := fmt.Sprintf("%s/%s/n=%d/P=%d", k.exp, k.workload, k.n, k.p)
+			ratio := m.WallMS / nv.WallMS
+			if ratio < min {
+				out = append(out, Finding{key,
+					fmt.Sprintf("native speedup %.1fx below the %.1fx anchor", ratio, min), true})
+			} else {
+				out = append(out, Finding{key,
+					fmt.Sprintf("native speedup %.1fx (anchor %.1fx)", ratio, min), false})
+			}
+		}
+		if checked == 0 {
+			out = append(out, Finding{w, "anchor has no verified model/native row pair", true})
+		}
+	}
+	return out
+}
+
+// anchorFlags collects repeatable -anchor workload=minRatio flags.
+type anchorFlags map[string]float64
+
+func (a anchorFlags) String() string {
+	parts := make([]string, 0, len(a))
+	for w, r := range a {
+		parts = append(parts, fmt.Sprintf("%s=%g", w, r))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (a anchorFlags) Set(s string) error {
+	w, v, ok := strings.Cut(s, "=")
+	if !ok || w == "" {
+		return fmt.Errorf("want workload=minRatio, got %q", s)
+	}
+	r, err := strconv.ParseFloat(v, 64)
+	if err != nil || r <= 0 {
+		return fmt.Errorf("bad min ratio in %q", s)
+	}
+	a[w] = r
+	return nil
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(exp, workload, engine string, n, p int, wall float64, verified bool) Row {
+	return Row{Exp: exp, Workload: workload, Engine: engine, N: n, P: p,
+		WallMS: wall, Verified: verified}
+}
+
+func fatals(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Fatal {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := []Row{
+		row("cat", "mergesort", "native", 100000, 8, 10.0, true),
+		row("cat", "mergesort", "model", 100000, 8, 150.0, true),
+	}
+	cur := []Row{
+		row("cat", "mergesort", "native", 100000, 8, 12.0, true), // 1.2x: fine
+		row("cat", "mergesort", "model", 100000, 8, 140.0, true),
+	}
+	if fs := fatals(Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1})); len(fs) != 0 {
+		t.Fatalf("unexpected failures: %v", fs)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	old := []Row{row("cat", "mergesort", "native", 100000, 8, 10.0, true)}
+	cur := []Row{row("cat", "mergesort", "native", 100000, 8, 16.0, true)} // 1.6x
+	fs := fatals(Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1}))
+	if len(fs) != 1 {
+		t.Fatalf("want exactly one regression, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Detail, "regressed 1.60x") {
+		t.Fatalf("unexpected detail %q", fs[0].Detail)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// A 3x blowup on a 0.3ms row is timer noise on a shared runner, not a
+	// trajectory — the floor must swallow it.
+	old := []Row{row("cat", "merge", "native", 4096, 2, 0.1, true)}
+	cur := []Row{row("cat", "merge", "native", 4096, 2, 0.3, true)}
+	if fs := fatals(Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1})); len(fs) != 0 {
+		t.Fatalf("noise-floor rows must not fail: %v", fs)
+	}
+	// A noise-low baseline is just as untrustworthy as a noise-high sample:
+	// 0.7ms -> 1.2ms is 1.71x but the denominator is under the floor.
+	old = []Row{row("cat", "merge", "native", 4096, 2, 0.7, true)}
+	cur = []Row{row("cat", "merge", "native", 4096, 2, 1.2, true)}
+	if fs := fatals(Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1})); len(fs) != 0 {
+		t.Fatalf("a sub-floor baseline must not fail the gate: %v", fs)
+	}
+}
+
+func TestCompareUnverifiedIsFatal(t *testing.T) {
+	old := []Row{row("cat", "merge", "native", 4096, 2, 1.0, true)}
+	cur := []Row{row("cat", "merge", "native", 4096, 2, 1.0, false)}
+	fs := fatals(Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "verifies") {
+		t.Fatalf("unverified current row must fail the gate, got %v", fs)
+	}
+}
+
+func TestCompareDisjointRowsAreNotes(t *testing.T) {
+	// Renamed or added workloads must not fail the gate — only note it.
+	old := []Row{row("cat", "oldload", "native", 4096, 2, 1.0, true)}
+	cur := []Row{row("cat", "newload", "native", 4096, 2, 5.0, true)}
+	fs := Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1})
+	if len(fatals(fs)) != 0 {
+		t.Fatalf("disjoint rows must be non-fatal: %v", fs)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want a note per disjoint row, got %v", fs)
+	}
+}
+
+func TestCompareSkipsUnverifiedOldRow(t *testing.T) {
+	old := []Row{row("cat", "merge", "native", 4096, 2, 0.001, false)}
+	cur := []Row{row("cat", "merge", "native", 4096, 2, 5.0, true)}
+	if fs := fatals(Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1})); len(fs) != 0 {
+		t.Fatalf("an unusable old row must not produce a regression: %v", fs)
+	}
+}
+
+func TestCheckAnchorsPass(t *testing.T) {
+	rows := []Row{
+		row("cat", "mergesort", "model", 100000, 8, 150.0, true),
+		row("cat", "mergesort", "native", 100000, 8, 12.0, true), // 12.5x
+	}
+	fs := CheckAnchors(rows, map[string]float64{"mergesort": 10})
+	if len(fatals(fs)) != 0 {
+		t.Fatalf("12.5x speedup must satisfy a 10x anchor: %v", fs)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "12.5x") {
+		t.Fatalf("want one pass note with the ratio, got %v", fs)
+	}
+}
+
+func TestCheckAnchorsFail(t *testing.T) {
+	rows := []Row{
+		row("graph", "bfs", "model", 100000, 8, 100.0, true),
+		row("graph", "bfs", "native", 100000, 8, 10.0, true), // 10x < 20x
+	}
+	fs := fatals(CheckAnchors(rows, map[string]float64{"bfs": 20}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "below") {
+		t.Fatalf("10x speedup must fail a 20x anchor, got %v", fs)
+	}
+}
+
+func TestCheckAnchorsMissingPairIsFatal(t *testing.T) {
+	rows := []Row{row("cat", "mergesort", "model", 100000, 8, 150.0, true)}
+	fs := fatals(CheckAnchors(rows, map[string]float64{"mergesort": 10}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "no verified") {
+		t.Fatalf("an uncheckable anchor must be fatal, got %v", fs)
+	}
+}
+
+func TestCheckAnchorsIgnoresUnverifiedRows(t *testing.T) {
+	rows := []Row{
+		row("cat", "mergesort", "model", 100000, 8, 1000.0, false), // would be 100x
+		row("cat", "mergesort", "native", 100000, 8, 10.0, true),
+	}
+	fs := fatals(CheckAnchors(rows, map[string]float64{"mergesort": 10}))
+	if len(fs) != 1 {
+		t.Fatalf("unverified rows must not satisfy an anchor, got %v", fs)
+	}
+}
+
+func TestLoadRows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	content := `[{"exp":"cat","workload":"merge","engine":"native","n":4096,"p":2,` +
+		`"wall_ms":1.5,"work":7,"verified":true,"some_future_field":3}]`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := loadRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].WallMS != 1.5 || !rows[0].Verified {
+		t.Fatalf("bad parse: %+v", rows)
+	}
+	if _, err := loadRows(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file must surface IsNotExist, got %v", err)
+	}
+}
+
+func TestAnchorFlagParsing(t *testing.T) {
+	a := anchorFlags{}
+	if err := a.Set("mergesort=10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("bfs=20.5"); err != nil {
+		t.Fatal(err)
+	}
+	if a["mergesort"] != 10 || a["bfs"] != 20.5 {
+		t.Fatalf("bad anchors: %v", a)
+	}
+	for _, bad := range []string{"mergesort", "=3", "bfs=zero", "bfs=-1"} {
+		if err := a.Set(bad); err == nil {
+			t.Fatalf("Set(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "previous run's ppmbench -json file (missing file = soft pass)")
+	newPath := flag.String("new", "", "current run's ppmbench -json file (required)")
+	threshold := flag.Float64("threshold", 1.5, "fail when a row's wall time grows past this factor")
+	minWall := flag.Float64("min-wall-ms", 1.0, "skip regressions on rows faster than this (timer noise)")
+	anchors := anchorFlags{}
+	flag.Var(anchors, "anchor", "workload=minRatio: require model/native speedup >= minRatio in -new (repeatable; skips -old diffing)")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cur, err := loadRows(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		// A gate that compared nothing must not pass: an empty current file
+		// means the bench run silently recorded no rows.
+		fmt.Fprintf(os.Stderr, "benchdiff: %s holds no result rows\n", *newPath)
+		os.Exit(1)
+	}
+
+	var findings []Finding
+	switch {
+	case len(anchors) > 0:
+		findings = CheckAnchors(cur, anchors)
+	default:
+		if *oldPath == "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: need -old (row diff) or -anchor (speedup check)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		old, err := loadRows(*oldPath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// First run on this branch: nothing to diff against yet.
+				fmt.Printf("benchdiff: no previous records at %s; soft pass\n", *oldPath)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		findings = Compare(old, cur, Options{Threshold: *threshold, MinWallMS: *minWall})
+	}
+
+	failed := false
+	for _, f := range findings {
+		fmt.Println(f)
+		failed = failed || f.Fatal
+	}
+	if failed {
+		fmt.Println("benchdiff: FAILED")
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (%d rows in %s)\n", len(cur), *newPath)
+}

@@ -77,7 +77,7 @@ func runCat(eng ppm.Engine) {
 		s := rt.Stats()
 		fmt.Printf("%-12s %8d %4d %12s %12d %10d %10d %8s\n",
 			spec.Name, n, p, wall.Round(time.Microsecond), s.Work, s.MaxProcWork, s.Capsules, result)
-		record(benchRecord{
+		rec := benchRecord{
 			Exp:      "cat",
 			Workload: spec.Name,
 			Engine:   string(eng),
@@ -91,7 +91,9 @@ func runCat(eng ppm.Engine) {
 			Steals:   s.Steals,
 			Restarts: s.Restarts,
 			Verified: verified,
-		})
+		}
+		rec.allocFields(rt)
+		record(rec)
 	}
 	printSpeedups("cat")
 }

@@ -136,7 +136,7 @@ func runGraphWorkload(exp, workload string, eng ppm.Engine, g *graph.Graph) {
 	fmt.Printf("%-10s %-6s %9d %9d %4d %12s %12d %10d %8s\n",
 		workload, graphKind, g.N, g.Arcs(), p, wall.Round(time.Microsecond),
 		s.Work, s.Capsules, result)
-	record(benchRecord{
+	rec := benchRecord{
 		Exp:      exp,
 		Workload: workload,
 		Engine:   string(eng),
@@ -150,7 +150,9 @@ func runGraphWorkload(exp, workload string, eng ppm.Engine, g *graph.Graph) {
 		Steals:   s.Steals,
 		Restarts: s.Restarts,
 		Verified: verified,
-	})
+	}
+	rec.allocFields(rt)
+	record(rec)
 }
 
 func graphHeader() {

@@ -68,6 +68,21 @@ type benchRecord struct {
 	Steals   int64   `json:"steals"`
 	Restarts int64   `json:"restarts"`
 	Verified bool    `json:"verified"`
+	// Native-engine allocator stats (zero on model rows): how the sharded
+	// pmem behaved — shard count, segment refills from the global region,
+	// and allocations spilled straight to it.
+	Shards       int   `json:"shards"`
+	AllocRefills int64 `json:"alloc_refills"`
+	AllocSpills  int64 `json:"alloc_spills"`
+}
+
+// allocFields copies the native allocator counters into a record (model
+// rows keep zeroes: the model's single heap is part of its cost semantics).
+func (r *benchRecord) allocFields(rt *ppm.Runtime) {
+	as := rt.AllocStats()
+	r.Shards = as.Shards
+	r.AllocRefills = as.Refills
+	r.AllocSpills = as.Spills
 }
 
 // records is initialized non-nil so -json always emits a JSON array, even

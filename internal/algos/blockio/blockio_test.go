@@ -112,10 +112,10 @@ func TestTransfersCount(t *testing.T) {
 	base := pmem.Addr(16) // block-aligned for b=8
 	cases := []struct{ lo, hi, want int }{
 		{0, 0, 0},
-		{0, 8, 1},    // one full block
-		{0, 16, 2},   // two full blocks
-		{1, 8, 7},    // partial leading
-		{0, 9, 2},    // full + one word
+		{0, 8, 1},          // one full block
+		{0, 16, 2},         // two full blocks
+		{1, 8, 7},          // partial leading
+		{0, 9, 2},          // full + one word
 		{5, 18, 3 + 1 + 2}, // 3 lead words, 1 full block, 2 tail words
 	}
 	for _, c := range cases {

@@ -119,8 +119,8 @@ func (mm *MM) RootFid() capsule.FuncID { return mm.runFid }
 
 // Arg packing: matrix views are (row, col) offsets into the global A and B
 // (strides are always n); destinations are (base addr, stride).
-func packRC(r, c int) uint64        { return uint64(r)<<16 | uint64(c) }
-func unpackRC(v uint64) (int, int)  { return int(v >> 16 & 0xffff), int(v & 0xffff) }
+func packRC(r, c int) uint64       { return uint64(r)<<16 | uint64(c) }
+func unpackRC(v uint64) (int, int) { return int(v >> 16 & 0xffff), int(v & 0xffff) }
 func packDst(a pmem.Addr, s int) uint64 {
 	return uint64(a)<<16 | uint64(s)
 }

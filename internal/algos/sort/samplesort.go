@@ -187,7 +187,7 @@ func (ss *SampleSort) runRoot(e capsule.Env) {
 	p8 := pfor(p9, ss.scatterFid, ss.k, 1, 0)
 	p7 := pfor(p8, ss.transFid, tiles, tileGrain, 1) // exclT -> dstS
 	p6 := pfor(p7, ss.shiftFid, blocks, shiftGrain, 0)
-	p5 := e.NewClosure(ss.ps.RootFid(), p6)           // countsT -> offsT
+	p5 := e.NewClosure(ss.ps.RootFid(), p6)          // countsT -> offsT
 	p4 := pfor(p5, ss.transFid, tiles, tileGrain, 0) // counts -> countsT
 	pivGrain := ss.mM / (4 * ss.b)
 	if pivGrain < 1 {

@@ -45,11 +45,11 @@ const stealBodyWords = 192
 
 // Config describes a machine instance.
 type Config struct {
-	P          int   // number of processors
-	MemWords   int   // persistent memory size in words
-	BlockWords int   // block size B in words
-	EphWords   int   // ephemeral memory size M in words, per processor
-	PoolWords  int   // closure-pool size per processor, in words
+	P          int // number of processors
+	MemWords   int // persistent memory size in words
+	BlockWords int // block size B in words
+	EphWords   int // ephemeral memory size M in words, per processor
+	PoolWords  int // closure-pool size per processor, in words
 	Seed       uint64
 	// Check enables the write-after-read conflict checker and ephemeral
 	// well-formedness checking. StrictCheck additionally panics on the
@@ -75,7 +75,7 @@ func (c *Config) fill() {
 		c.PoolWords = 1 << 20
 	}
 	if c.MemWords <= 0 {
-		c.MemWords = 1 + (c.P+NumCtrl) + c.P*c.PoolWords + (1 << 20)
+		c.MemWords = 1 + (c.P + NumCtrl) + c.P*c.PoolWords + (1 << 20)
 	}
 	if c.Injector == nil {
 		c.Injector = fault.NoFaults{}
@@ -99,9 +99,9 @@ type Machine struct {
 	// by the closure region, stealHalfSize words in total.
 	stealRecArea  pmem.Addr
 	stealHalfSize pmem.Addr
-	setupCur []pmem.Addr // setup-time allocation cursor per pool
-	heapCur  pmem.Addr   // setup-time cursor for the shared user heap
-	heapEnd  pmem.Addr
+	setupCur      []pmem.Addr // setup-time allocation cursor per pool
+	heapCur       pmem.Addr   // setup-time cursor for the shared user heap
+	heapEnd       pmem.Addr
 
 	// warViolations aggregates conflicts found by the per-proc trackers.
 	warMu         sync.Mutex

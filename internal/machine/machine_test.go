@@ -14,8 +14,8 @@ import (
 // mirroring the paper's "persistent counters" remark in §4.
 func buildCounter(m *Machine, cell0, cell1 pmem.Addr, n uint64) pmem.Addr {
 	fid := m.Registry.Register("counter", func(e capsule.Env) {
-		i := e.Arg(0)     // iterations done
-		src := e.Arg(1)   // which cell holds the current value (0 or 1)
+		i := e.Arg(0)   // iterations done
+		src := e.Arg(1) // which cell holds the current value (0 or 1)
 		if i == n {
 			e.Halt()
 			return
@@ -100,7 +100,7 @@ func TestWARViolationDetected(t *testing.T) {
 	m := New(Config{P: 1, Check: true})
 	cell := m.HeapAlloc(1)
 	fid := m.Registry.Register("bad", func(e capsule.Env) {
-		v := e.Read(cell) // exposed read
+		v := e.Read(cell)  // exposed read
 		e.Write(cell, v+1) // write same block: WAR conflict
 		e.Halt()
 	})
@@ -319,9 +319,9 @@ func TestEphemeralLostOnFault(t *testing.T) {
 	m := New(Config{P: 1, Check: true, Injector: fault.NewScript().Add(0, 3, fault.Soft)})
 	out := m.HeapAlloc(1)
 	fid := m.Registry.Register("ephuser", func(e capsule.Env) {
-		e.EphWrite(0, 777)           // write first: well-formed
-		v := e.EphRead(0)            // fine
-		e.Write(out, v)              // access 2 (after restart-load 0, hdr 1) -> fault at 3 (halt)
+		e.EphWrite(0, 777) // write first: well-formed
+		v := e.EphRead(0)  // fine
+		e.Write(out, v)    // access 2 (after restart-load 0, hdr 1) -> fault at 3 (halt)
 		e.Halt()
 	})
 	m.SetRestart(0, m.BuildClosure(0, fid, pmem.Nil))

@@ -27,6 +27,17 @@ type Config struct {
 	// DequeCap is the per-worker deque's initial ring capacity (default
 	// 1<<13); the ring grows by doubling whenever spawn depth exceeds it.
 	DequeCap int
+	// Shards is the number of independent allocator arms the flat memory's
+	// allocation path is split into (default GOMAXPROCS, or P when more
+	// workers than that are configured, so every worker keeps a private
+	// arm). Worker p allocates from shard p mod Shards; more shards than
+	// workers costs nothing (unused shards never reserve a segment).
+	Shards int
+	// SegWords is the segment size a shard reserves from the global region
+	// per refill. The default is 1<<15, shrunk when needed so Shards
+	// default-sized segments can never claim more than a quarter of the
+	// memory; an explicit value is used as given.
+	SegWords int
 	// Seed drives steal-victim selection.
 	Seed uint64
 	// Persist compiles a persistence point into every capsule boundary: a
@@ -48,6 +59,22 @@ func (c *Config) fill() {
 	if c.DequeCap <= 0 {
 		c.DequeCap = 1 << 13
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.P > c.Shards {
+			c.Shards = c.P
+		}
+	}
+	if c.SegWords <= 0 {
+		c.SegWords = 1 << 15
+		if cap := c.MemWords / (4 * c.Shards); c.SegWords > cap {
+			c.SegWords = cap
+		}
+	}
+	if min := 4 * c.BlockWords; c.SegWords < min {
+		c.SegWords = min
+	}
+	c.SegWords = c.SegWords / c.BlockWords * c.BlockWords
 }
 
 // Task kinds. A user task runs a registered function; a pfor task expands a
@@ -82,8 +109,9 @@ type join struct {
 type Runtime struct {
 	cfg Config
 
-	mem  []uint64
-	heap atomic.Int64
+	mem    []uint64
+	heap   atomic.Int64 // global region bump pointer; shards refill from it
+	shards []shard
 
 	funcs []func(*Ctx)
 	names map[string]capsule.FuncID
@@ -110,6 +138,7 @@ func New(cfg Config) *Runtime {
 		names: map[string]capsule.FuncID{},
 	}
 	rt.heap.Store(int64(cfg.BlockWords)) // word 0 reserved as Nil
+	rt.shards = make([]shard, cfg.Shards)
 	if cfg.Persist {
 		rt.persistBase = rt.HeapAllocBlocks(cfg.P * cfg.BlockWords)
 	}
@@ -117,10 +146,11 @@ func New(cfg Config) *Runtime {
 	rt.workers = make([]*Ctx, cfg.P)
 	for p := 0; p < cfg.P; p++ {
 		rt.workers[p] = &Ctx{
-			rt:  rt,
-			id:  p,
-			dq:  newDeque(cfg.DequeCap),
-			rng: rng.NewXoshiro256(sm.Next()),
+			rt:    rt,
+			id:    p,
+			shard: p % cfg.Shards,
+			dq:    newDeque(cfg.DequeCap),
+			rng:   rng.NewXoshiro256(sm.Next()),
 		}
 	}
 	return rt
@@ -168,19 +198,11 @@ func (rt *Runtime) MemWrite(a pmem.Addr, v uint64) {
 	atomic.StoreUint64(&rt.mem[a], v)
 }
 
-// HeapAllocBlocks reserves n words starting at a block boundary.
+// HeapAllocBlocks reserves n words starting at a block boundary. This is
+// the harness-side (setup-time) allocator and draws directly from the
+// global region; capsule-side Alloc goes through the per-shard segments.
 func (rt *Runtime) HeapAllocBlocks(n int) pmem.Addr {
-	b := int64(rt.cfg.BlockWords)
-	for {
-		cur := rt.heap.Load()
-		start := (cur + b - 1) / b * b
-		if start+int64(n) > int64(len(rt.mem)) {
-			panic(fmt.Sprintf("native: heap exhausted (%d words requested); raise MemWords", n))
-		}
-		if rt.heap.CompareAndSwap(cur, start+int64(n)) {
-			return pmem.Addr(start)
-		}
-	}
+	return rt.reserve(n)
 }
 
 // ---- run ----
@@ -284,10 +306,11 @@ func (rt *Runtime) PersistPoints() int64 {
 // typed programs — argument access, word reads/writes, CAM, allocation, and
 // the control transfers — implemented directly on hardware.
 type Ctx struct {
-	rt  *Runtime
-	id  int
-	dq  *deque
-	rng *rng.Xoshiro256
+	rt    *Runtime
+	id    int
+	shard int // allocator shard this worker bumps (id mod Shards)
+	dq    *deque
+	rng   *rng.Xoshiro256
 
 	cur  *task
 	next *task
@@ -469,8 +492,9 @@ func (w *Ctx) CAM(a pmem.Addr, old, new uint64) {
 	atomic.CompareAndSwapUint64(&w.rt.mem[a], old, new)
 }
 
-// Alloc reserves n fresh zeroed words from the shared heap.
-func (w *Ctx) Alloc(n int) pmem.Addr { return w.rt.HeapAllocBlocks(n) }
+// Alloc reserves n fresh zeroed words from this worker's allocator shard —
+// an uncontended atomic bump unless the shard needs a segment refill.
+func (w *Ctx) Alloc(n int) pmem.Addr { return w.rt.shardAlloc(w.shard, n) }
 
 // ReadAt returns base[idx].
 func (w *Ctx) ReadAt(base pmem.Addr, idx int) uint64 {
@@ -534,6 +558,26 @@ func (w *Ctx) Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64 {
 	w.reads += n
 	w.taskWork += n
 	return dst
+}
+
+// Scatter writes consecutive words of src over k disjoint spans of base in
+// one tight loop — the write-side mirror of Gather, the batched path of
+// samplesort's bucket scatter and frontier compaction writes.
+func (w *Ctx) Scatter(base pmem.Addr, spans [][2]int, src []uint64) {
+	var n int64
+	for _, s := range spans {
+		lo, hi := s[0], s[1]
+		if lo >= hi {
+			continue
+		}
+		w.rt.check(base + pmem.Addr(lo))
+		w.rt.check(base + pmem.Addr(hi-1))
+		copy(w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)], src[:hi-lo])
+		src = src[hi-lo:]
+		n += int64(hi - lo)
+	}
+	w.writes += n
+	w.taskWork += n
 }
 
 // WriteRange writes vals over base[lo,hi).

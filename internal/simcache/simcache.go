@@ -64,13 +64,13 @@ func RunNative(prog Program, mem []uint64, maxSteps int) (int, error) {
 // LRUCache is a write-back, write-allocate cache model with least-recently-
 // used replacement, used as the reference miss counter.
 type LRUCache struct {
-	capacity int // lines
-	b        int // block words
-	mem      []uint64
-	lines    map[int][]uint64
-	dirty    map[int]bool
-	order    []int // LRU order, most recent last
-	Misses   int64
+	capacity   int // lines
+	b          int // block words
+	mem        []uint64
+	lines      map[int][]uint64
+	dirty      map[int]bool
+	order      []int // LRU order, most recent last
+	Misses     int64
 	Writebacks int64
 }
 

@@ -138,16 +138,16 @@ func (p Program) RunNative(mem []uint64, maxSteps int) (regs [NumRegs]uint64, st
 // result at mem[n].
 func SumProgram(n int) Program {
 	return Program{
-		0: {Op: Loadi, Rd: 0, Imm: 0},        // r0 = acc
-		1: {Op: Loadi, Rd: 1, Imm: 0},        // r1 = i
-		2: {Op: Loadi, Rd: 2, Imm: int64(n)}, // r2 = n
-		3: {Op: Loadi, Rd: 3, Imm: 1},        // r3 = 1
-		4: {Op: Jlt, Ra: 1, Rb: 2, Imm: 6},   // loop: if i < n goto body
-		5: {Op: Jmp, Imm: 10},                // goto end
-		6: {Op: Load, Rd: 4, Ra: 1},          // body: r4 = mem[i]
-		7: {Op: Add, Rd: 0, Ra: 0, Rb: 4},    // acc += r4
-		8: {Op: Add, Rd: 1, Ra: 1, Rb: 3},    // i++
-		9: {Op: Jmp, Imm: 4},                 // goto loop
+		0:  {Op: Loadi, Rd: 0, Imm: 0},        // r0 = acc
+		1:  {Op: Loadi, Rd: 1, Imm: 0},        // r1 = i
+		2:  {Op: Loadi, Rd: 2, Imm: int64(n)}, // r2 = n
+		3:  {Op: Loadi, Rd: 3, Imm: 1},        // r3 = 1
+		4:  {Op: Jlt, Ra: 1, Rb: 2, Imm: 6},   // loop: if i < n goto body
+		5:  {Op: Jmp, Imm: 10},                // goto end
+		6:  {Op: Load, Rd: 4, Ra: 1},          // body: r4 = mem[i]
+		7:  {Op: Add, Rd: 0, Ra: 0, Rb: 4},    // acc += r4
+		8:  {Op: Add, Rd: 1, Ra: 1, Rb: 3},    // i++
+		9:  {Op: Jmp, Imm: 4},                 // goto loop
 		10: {Op: Loadi, Rd: 5, Imm: int64(n)}, // end: r5 = n
 		11: {Op: Store, Ra: 5, Rb: 0},         // mem[n] = acc
 		12: {Op: Halt},

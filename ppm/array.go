@@ -111,6 +111,32 @@ func (a Array) Gather(c Ctx, spans [][2]int, dst []uint64) []uint64 {
 	return c.e.Gather(a.base, spans, dst)
 }
 
+// Scatter writes consecutive elements of src over k ranges {[lo, hi)} in
+// one batched operation: span 0 receives src[0:hi0-lo0], span 1 the next
+// hi1-lo1 elements, and so on — the write-side mirror of Gather. len(src)
+// must equal the total span length, and spans must be disjoint (concurrent
+// capsules scattering into overlapping ranges is a data race, exactly as
+// with SetRange). On the model engine the k spans are issued as a single
+// round of block transfers — each span charged exactly like a SetRange, but
+// as one logical operation; on the native engine the whole batch is one
+// tight copy loop with no per-span dispatch. This is the bucket-scatter
+// primitive of samplesort: a chunk writes all its bucket segments in one
+// call. Only for word-packed arrays.
+func (a Array) Scatter(c Ctx, spans [][2]int, src []uint64) {
+	a.needPacked()
+	need := 0
+	for _, s := range spans {
+		if s[0] < 0 || s[1] > a.n || s[0] > s[1] {
+			panic("ppm: Scatter span out of range")
+		}
+		need += s[1] - s[0]
+	}
+	if need != len(src) {
+		panic("ppm: Scatter length mismatch")
+	}
+	c.e.Scatter(a.base, spans, src)
+}
+
 // SetRange writes vals over elements [lo, lo+len(vals)): full blocks by
 // block transfer, boundary words individually, so concurrent capsules
 // sharing a boundary block never overwrite each other. Only for word-packed

@@ -41,6 +41,136 @@ func TestGatherBothEngines(t *testing.T) {
 	}
 }
 
+// TestScatterBothEngines checks the batched multi-range write primitive on
+// both engines: span order, empty spans, single-word spans, boundary words.
+func TestScatterBothEngines(t *testing.T) {
+	const n = 256
+	spans := [][2]int{{3, 9}, {100, 101}, {250, 256}, {40, 40}, {12, 29}}
+	total := 0
+	for _, s := range spans {
+		total += s[1] - s[0]
+	}
+	src := make([]uint64, total)
+	for i := range src {
+		src[i] = uint64(i*7%251 + 1)
+	}
+	want := make([]uint64, n)
+	at := 0
+	for _, s := range spans {
+		copy(want[s[0]:s[1]], src[at:at+s[1]-s[0]])
+		at += s[1] - s[0]
+	}
+	for _, eng := range []ppm.Engine{ppm.EngineModel, ppm.EngineNative} {
+		rt := ppm.New(ppm.WithEngine(eng), ppm.WithProcs(2), ppm.WithSeed(1))
+		out := rt.NewArray(n)
+		root := rt.Register("scatter/root", func(c ppm.Ctx) {
+			out.Scatter(c, spans, src)
+			c.Done()
+		})
+		if !rt.Run(root) {
+			t.Fatalf("%s: did not complete", eng)
+		}
+		got := out.Snapshot()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: scattered[%d] = %d, want %d", eng, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScatterModelCost checks the model-engine cost contract: a batched
+// Scatter of k spans charges exactly the write transfers of k individual
+// SetRanges — batching buys one logical round, not a different bill.
+func TestScatterModelCost(t *testing.T) {
+	const n = 512
+	spans := [][2]int{{0, 64}, {65, 66}, {130, 200}, {300, 511}}
+	total := 0
+	for _, s := range spans {
+		total += s[1] - s[0]
+	}
+	src := make([]uint64, total)
+	for i := range src {
+		src[i] = uint64(i + 1)
+	}
+	writes := func(scatter bool) int64 {
+		rt := ppm.New(ppm.WithProcs(1), ppm.WithSeed(2))
+		out := rt.NewArray(n)
+		root := rt.Register("cost/root", func(c ppm.Ctx) {
+			if scatter {
+				out.Scatter(c, spans, src)
+			} else {
+				at := 0
+				for _, s := range spans {
+					out.SetRange(c, s[0], src[at:at+s[1]-s[0]])
+					at += s[1] - s[0]
+				}
+			}
+			c.Done()
+		})
+		if !rt.Run(root) {
+			t.Fatal("did not complete")
+		}
+		if got := out.Snapshot()[510]; got == 0 {
+			t.Fatal("suspicious zero tail word")
+		}
+		return rt.Stats().Writes
+	}
+	s, r := writes(true), writes(false)
+	if s != r {
+		t.Fatalf("Scatter charged %d write transfers, k SetRanges charge %d", s, r)
+	}
+}
+
+// TestNativeShardsOption runs an allocation-heavy tree program under
+// explicit shard counts on the native engine — 1 shard (the old global
+// behavior) through more shards than workers — and checks identical results
+// plus sane allocator stats.
+func TestNativeShardsOption(t *testing.T) {
+	const n = 1 << 12
+	vals := make([]uint64, n)
+	var want uint64
+	for i := range vals {
+		vals[i] = uint64(i%97 + 1)
+		want += vals[i]
+	}
+	for _, shards := range []int{1, 4, 16} {
+		rt := ppm.New(ppm.WithEngine(ppm.EngineNative), ppm.WithProcs(4),
+			ppm.WithNativeShards(shards), ppm.WithSeed(9))
+		in := rt.NewArray(n)
+		in.Load(vals)
+		out := rt.NewArray(1)
+		cmb := rt.Register("cmb", func(c ppm.Ctx) {
+			c.Write(c.Addr(2), c.Read(c.Addr(0))+c.Read(c.Addr(1)))
+			c.Done()
+		})
+		var sum ppm.FuncRef
+		sum = rt.Register("sum", func(c ppm.Ctx) {
+			lo, hi, dst := c.Int(0), c.Int(1), c.Addr(2)
+			if hi-lo <= 64 {
+				var acc uint64
+				in.Range(c, lo, hi, func(_ int, v uint64) { acc += v })
+				c.Write(dst, acc)
+				c.Done()
+				return
+			}
+			mid := (lo + hi) / 2
+			s := c.Alloc(2)
+			c.ForkThen(sum.Call(lo, mid, s.At(0)), sum.Call(mid, hi, s.At(1)),
+				cmb.Call(s.At(0), s.At(1), dst))
+		})
+		if !rt.Run(sum, 0, n, out.At(0)) {
+			t.Fatalf("shards=%d: did not complete", shards)
+		}
+		if got := out.Snapshot()[0]; got != want {
+			t.Fatalf("shards=%d: sum = %d, want %d", shards, got, want)
+		}
+		if as := rt.AllocStats(); as.Shards != shards {
+			t.Errorf("shards=%d: AllocStats.Shards = %d", shards, as.Shards)
+		}
+	}
+}
+
 // TestGatherModelCost checks the model-engine cost contract: a batched
 // Gather of k spans charges exactly the block transfers of k individual
 // Ranges — batching buys one logical round, not a different bill.

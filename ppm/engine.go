@@ -55,6 +55,7 @@ type engine interface {
 	memRead(a Addr) uint64
 	memWrite(a Addr, v uint64)
 	engineStats() Stats
+	allocStats() AllocStats // zero-valued on engines without sharded allocation
 	procs() int
 	blockWords() int
 	warViolations() []string
@@ -79,6 +80,7 @@ type capCtx interface {
 	ReadRange(base pmem.Addr, lo, hi int, fn func(idx int, v uint64))
 	ReadInto(base pmem.Addr, lo, hi int, dst []uint64)
 	Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64
+	Scatter(base pmem.Addr, spans [][2]int, src []uint64)
 	WriteRange(base pmem.Addr, lo, hi int, vals []uint64)
 	Done()
 	Halt()
@@ -139,6 +141,7 @@ func (m *modelEngine) heapAllocBlocks(n int) Addr { return m.rt.Machine.HeapAllo
 func (m *modelEngine) memRead(a Addr) uint64      { return m.rt.Machine.Mem.Read(a) }
 func (m *modelEngine) memWrite(a Addr, v uint64)  { m.rt.Machine.Mem.Write(a, v) }
 func (m *modelEngine) engineStats() Stats         { return m.rt.Stats() }
+func (m *modelEngine) allocStats() AllocStats     { return AllocStats{} }
 func (m *modelEngine) procs() int                 { return m.rt.Machine.P() }
 func (m *modelEngine) blockWords() int            { return m.rt.Machine.BlockWords() }
 func (m *modelEngine) warViolations() []string    { return m.rt.Machine.WARViolations() }
@@ -195,6 +198,23 @@ func (m *modelCtx) Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64
 
 func (m *modelCtx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {
 	blockio.WriteRange(m.e, m.b, base, lo, hi, vals)
+}
+
+// Scatter issues the k spans as one batched round of block transfers: each
+// touched block is charged exactly as a WriteRange over that span would
+// charge it (full blocks by block transfer, boundary words individually),
+// but the batch is one logical operation of the capsule — the write-side
+// mirror of Gather.
+func (m *modelCtx) Scatter(base pmem.Addr, spans [][2]int, src []uint64) {
+	at := 0
+	for _, s := range spans {
+		lo, hi := s[0], s[1]
+		if lo >= hi {
+			continue
+		}
+		blockio.WriteRange(m.e, m.b, base, lo, hi, src[at:at+hi-lo])
+		at += hi - lo
+	}
 }
 
 func (m *modelCtx) Done() { m.fj.TaskDone(m.e) }

@@ -5,6 +5,12 @@ import (
 	"repro/internal/native"
 )
 
+// AllocStats reports how the native engine's sharded allocator behaved in a
+// run: the shard/segment geometry plus refill and spill counts (see
+// WithNativeShards). Zero-valued on the model engine, whose single heap is
+// part of the model's cost semantics.
+type AllocStats = native.AllocStats
+
 // nativeEngine runs programs on the goroutine work-stealing backend.
 // internal/native.Ctx structurally implements capCtx, so the bridge is a
 // thin translation of configuration and function IDs.
@@ -27,6 +33,7 @@ func newNativeEngine(c config) *nativeEngine {
 		MemWords:   mem,
 		BlockWords: c.blockWords,
 		DequeCap:   c.dequeEntries,
+		Shards:     c.nativeShards, // 0 = the native default (GOMAXPROCS or P)
 		Seed:       c.seed,
 		Persist:    c.nativePersist,
 	})}
@@ -53,6 +60,7 @@ func (n *nativeEngine) heapAllocBlocks(nw int) Addr { return n.rt.HeapAllocBlock
 func (n *nativeEngine) memRead(a Addr) uint64       { return n.rt.MemRead(a) }
 func (n *nativeEngine) memWrite(a Addr, v uint64)   { n.rt.MemWrite(a, v) }
 func (n *nativeEngine) engineStats() Stats          { return n.rt.Stats() }
+func (n *nativeEngine) allocStats() AllocStats      { return n.rt.AllocStats() }
 func (n *nativeEngine) procs() int                  { return n.rt.P() }
 func (n *nativeEngine) blockWords() int             { return n.rt.BlockWords() }
 func (n *nativeEngine) warViolations() []string     { return nil }

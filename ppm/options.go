@@ -25,6 +25,7 @@ type config struct {
 	seed          uint64
 	warCheck      bool
 	nativePersist bool
+	nativeShards  int
 	hardAt        map[int]int64
 	scripted      []scriptedFault
 }
@@ -49,6 +50,18 @@ func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 // Ignored by the model engine, whose capsule installs persist by
 // construction.
 func WithNativePersist() Option { return func(c *config) { c.nativePersist = true } }
+
+// WithNativeShards sets how many independent allocator shards the native
+// engine splits its flat memory's allocation path into (default GOMAXPROCS,
+// or P when more workers than that are configured, so every worker keeps a
+// private arm).
+// Each worker goroutine bump-allocates from its own shard — a lock-free fast
+// path with no cross-processor CAS traffic — refilling from a coarse global
+// region reservation when the shard drains. Addresses remain plain word
+// offsets into one backing memory, so programs never observe the sharding.
+// Ignored by the model engine, whose single-heap cost semantics are part of
+// the model's faithfulness.
+func WithNativeShards(n int) Option { return func(c *config) { c.nativeShards = n } }
 
 // WithProcs sets the number of virtual processors P (default 1).
 func WithProcs(p int) Option { return func(c *config) { c.procs = p } }

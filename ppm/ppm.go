@@ -125,6 +125,11 @@ func (r *Runtime) Engine() Engine { return r.eng.name() }
 // Stats summarizes the cost counters accumulated so far.
 func (r *Runtime) Stats() Stats { return r.eng.engineStats() }
 
+// AllocStats reports the native engine's sharded-allocator counters (shard
+// count, segment size, refills, spills, heap high-water mark). Zero-valued
+// on the model engine.
+func (r *Runtime) AllocStats() AllocStats { return r.eng.allocStats() }
+
 // WARViolations returns the write-after-read conflicts detected so far.
 // Empty unless WithWARCheck was given (model engine only).
 func (r *Runtime) WARViolations() []string { return r.eng.warViolations() }

@@ -428,11 +428,17 @@ func (s *sortAlgo) buildSample(rt *Runtime) {
 			spl := splitters.Slice(c, 0, k-1)
 			vals := parts.Slice(c, lo, hi)
 			f := bucketSegments(vals, spl)
+			// One batched Scatter per chunk: bucket b's segment
+			// vals[f[b]:f[b+1]] lands at its exclusive offset. Spans are
+			// disjoint across chunks by construction of the offset matrix.
+			spans := make([][2]int, 0, k)
 			for b := 0; b < k; b++ {
 				if f[b+1] > f[b] {
-					in.SetRange(c, exclusive(c, b*chunks+ci), vals[f[b]:f[b+1]])
+					off := exclusive(c, b*chunks+ci)
+					spans = append(spans, [2]int{off, off + f[b+1] - f[b]})
 				}
 			}
+			in.Scatter(c, spans, vals)
 		}
 		c.Done()
 	})
