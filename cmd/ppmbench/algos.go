@@ -208,6 +208,7 @@ func runE12(ppm.Engine) {
 	cell := rt.NewArray(1)
 	incr := rt.Register("e12/incr", func(c ppm.Ctx) {
 		v := c.Read(cell.At(0))
+		//ppm:allow warfree E12 plants this WAR conflict on purpose to show the double-apply
 		c.Write(cell.At(0), v+1)
 		c.Halt()
 	})

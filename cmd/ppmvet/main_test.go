@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles ppmvet into a temp dir and returns its path plus the
+// module root (the go build cache makes repeat builds cheap).
+func buildTool(t *testing.T) (bin, root string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "ppmvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/ppmvet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ppmvet: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var exitErr *exec.ExitError
+	if ok := asExitError(err, &exitErr); !ok {
+		t.Fatalf("running ppmvet: %v", err)
+	}
+	return exitErr.ExitCode()
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// TestSmoke drives the full suite end to end: the vet-driver handshake, a
+// clean standalone sweep over the whole module, a flagged run over the
+// planted-violation fixture, and a real `go vet -vettool` invocation.
+func TestSmoke(t *testing.T) {
+	bin, root := buildTool(t)
+
+	t.Run("version handshake", func(t *testing.T) {
+		out, err := exec.Command(bin, "-V=full").CombinedOutput()
+		if err != nil {
+			t.Fatalf("-V=full: %v\n%s", err, out)
+		}
+		if !strings.HasPrefix(string(out), "ppmvet version ") {
+			t.Errorf("-V=full output %q, want prefix %q", out, "ppmvet version ")
+		}
+	})
+
+	t.Run("flags handshake", func(t *testing.T) {
+		out, err := exec.Command(bin, "-flags").CombinedOutput()
+		if err != nil {
+			t.Fatalf("-flags: %v\n%s", err, out)
+		}
+		if strings.TrimSpace(string(out)) != "[]" {
+			t.Errorf("-flags output %q, want %q", out, "[]")
+		}
+	})
+
+	t.Run("standalone clean over module", func(t *testing.T) {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if code := exitCode(t, err); code != 0 {
+			t.Errorf("ppmvet ./... exit %d, want 0\n%s", code, out)
+		}
+	})
+
+	t.Run("standalone flags planted violation", func(t *testing.T) {
+		cmd := exec.Command(bin, "./internal/analysis/driver/testdata/warbad")
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if code := exitCode(t, err); code != 1 {
+			t.Errorf("exit %d, want 1\n%s", code, out)
+		}
+		if !strings.Contains(string(out), "write-after-read conflict") ||
+			!strings.Contains(string(out), "[warfree]") {
+			t.Errorf("missing warfree diagnostic in output:\n%s", out)
+		}
+	})
+
+	t.Run("go vet -vettool", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./ppm/graph/")
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if code := exitCode(t, err); code != 0 {
+			t.Errorf("go vet -vettool exit %d, want 0\n%s", code, out)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package analysis is a self-contained static-analysis framework for PPM
+// program discipline, modeled on golang.org/x/tools/go/analysis but built
+// only on the standard library's go/ast and go/types (this module carries no
+// external dependencies).
+//
+// The suite's analyzers move the paper's dynamic preconditions to compile
+// time: internal/warcheck verifies write-after-read freedom (Theorem 3.1) on
+// the schedules a run happens to exercise, while the warfree analyzer checks
+// every capsule a program can register; replaydet, capsulescope, and
+// joinleak enforce the replay-determinism and capsule-shape conventions
+// documented on ppm.Func and ppm.Ctx. cmd/ppmvet assembles the suite into a
+// standalone checker that also speaks the `go vet -vettool` protocol.
+//
+// A diagnostic can be suppressed by a comment of the form
+//
+//	//ppm:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory by convention: an allow without a justification defeats the
+// point of a static guarantee.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //ppm:allow comments.
+	Name string
+	// Doc is the one-paragraph description shown by ppmvet -help.
+	Doc string
+	// Run reports diagnostics for one type-checked package via pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the runner
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info populated with every map the analyzers
+// consult; drivers and tests share it so no pass ever hits a nil map.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+var allowRE = regexp.MustCompile(`^//ppm:allow\s+([A-Za-z0-9_]+)\b`)
+
+// suppressions maps analyzer name -> file -> set of suppressed lines. A
+// //ppm:allow comment silences its analyzer on the comment's own line and on
+// the line directly below it (the comment-above idiom).
+type suppressions map[string]map[string]map[int]bool
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byFile := sup[m[1]]
+				if byFile == nil {
+					byFile = map[string]map[int]bool{}
+					sup[m[1]] = byFile
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(fset *token.FileSet, d Diagnostic) bool {
+	byFile := s[d.Analyzer]
+	if byFile == nil {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	return byFile[pos.Filename][pos.Line]
+}
+
+// RunPackage runs the analyzers over one type-checked package and returns
+// the surviving diagnostics in position order, with //ppm:allow suppressions
+// applied.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	sup := collectSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			if !sup.covers(fset, d) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path(), a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

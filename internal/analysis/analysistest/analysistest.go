@@ -1,0 +1,187 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// matches its diagnostics against `// want "regexp"` comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest but hermetic: fixtures
+// live under <dir>/src/<importpath>/ and every import — including stand-ins
+// for repro/ppm and the handful of standard-library packages the fixtures
+// mention — resolves to a stub in the same tree. Nothing is read from
+// GOROOT or the build cache, so the tests cannot drift with the toolchain.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run checks analyzer a against the fixture packages named by importPaths,
+// each rooted at dir/src/<importpath>. Every diagnostic must be matched by a
+// want expectation on its line, and every want must be matched by a
+// diagnostic.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	ld := &loader{fset: token.NewFileSet(), src: filepath.Join(dir, "src"), pkgs: map[string]*pkgData{}}
+	for _, path := range importPaths {
+		pd, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunPackage(ld.fset, pd.files, pd.pkg, pd.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s over %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, ld.fset, pd.files, diags)
+	}
+}
+
+// ---- fixture loading ----
+
+type pkgData struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+// loader is a types.Importer that resolves every import path to a source
+// directory under the fixture tree and type-checks it on demand.
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*pkgData
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	pd, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pd.pkg, nil
+}
+
+func (ld *loader) load(path string) (*pkgData, error) {
+	if pd, ok := ld.pkgs[path]; ok {
+		return pd, pd.err
+	}
+	pd := &pkgData{}
+	ld.pkgs[path] = pd
+	pd.pkg, pd.files, pd.info, pd.err = ld.typecheck(path)
+	return pd, pd.err
+}
+
+func (ld *loader) typecheck(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("no fixture for import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("fixture %q has no .go files", path)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return pkg, files, info, nil
+}
+
+// ---- want matching ----
+
+// expectation is one `// want "re"` pattern awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantQuoted.FindAllString(c.Text[idx+len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, text: pat,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]",
+				pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package capsulescope enforces capsule closure hygiene. A capsule body
+// (any function of shape func(ppm.Ctx)) executes under fault replay and
+// work stealing: whatever it captures from the registering scope must be
+// read-only configuration (arrays, sizes, FuncRefs). Three things break
+// that contract:
+//
+//   - Using a ppm.Ctx other than the capsule's own parameter. A Ctx is the
+//     per-execution view of one capsule on one processor; a Ctx captured
+//     from an enclosing registration closure is stale by the time the
+//     capsule runs.
+//   - Mutating captured host state (assigning captured variables, writing
+//     captured slices or maps). Host memory is invisible to the engines:
+//     it is not replayed after faults, not persisted, and races across
+//     workers on the native engine. Shared state must live in a ppm.Array.
+//   - Calling harness-side API (Array.Load/Snapshot, Runtime.Register/Run/
+//     RunOnAll/NewArray/NewBlockArray) from inside a capsule. Those
+//     operations bypass the engine's cost accounting and fault injection
+//     and mutate runtime structure mid-run.
+package capsulescope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces capsule closure hygiene.
+var Analyzer = &analysis.Analyzer{
+	Name: "capsulescope",
+	Doc: "flag capsules that capture a stale Ctx, mutate captured host " +
+		"state, or call harness-side API mid-run",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range analysis.PPMFuncs(pass) {
+		if fn.Capsule {
+			checkCapsule(pass, fn)
+		}
+	}
+	return nil
+}
+
+// declaredInside reports whether obj's declaration lies within the capsule
+// function node (parameters included).
+func declaredInside(fn analysis.FuncInfo, obj types.Object) bool {
+	return obj.Pos() != 0 && fn.Node.Pos() <= obj.Pos() && obj.Pos() < fn.Node.End()
+}
+
+func checkCapsule(pass *analysis.Pass, fn analysis.FuncInfo) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal with its own Ctx parameter is a capsule in
+			// its own right (a separate PPMFuncs entry); don't double-check.
+			if analysis.HasOwnCtxParam(info, n) {
+				return false
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if obj == nil || obj == fn.Ctx {
+				return true
+			}
+			if v, isVar := obj.(*types.Var); isVar && analysis.IsCtx(v.Type()) && !declaredInside(fn, obj) {
+				pass.Reportf(n.Pos(),
+					"capsule uses Ctx %q captured from an enclosing scope; a Ctx is valid "+
+						"only for the single capsule execution it was passed to", n.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkMutation(pass, fn, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkMutation(pass, fn, n.X)
+		case *ast.CallExpr:
+			if name, ok := analysis.HarnessCall(info, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside capsule code is harness-side API: it bypasses the engine's "+
+						"cost and fault accounting (stage inputs before Run, read results after)",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMutation flags an assignment target rooted at a variable declared
+// outside the capsule. Writes to locals are fine; writes to captured or
+// package-level host state bypass persistent memory.
+func checkMutation(pass *analysis.Pass, fn analysis.FuncInfo, lhs ast.Expr) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj, isVar := pass.TypesInfo.Uses[root].(*types.Var)
+	if !isVar || declaredInside(fn, obj) {
+		return
+	}
+	// Reassigning a captured Array variable is as bad as any other captured
+	// write, so no ppm-type exemptions here.
+	pass.Reportf(lhs.Pos(),
+		"capsule mutates %q, host state captured from outside the capsule: it is "+
+			"not replayed after faults and races across workers — keep shared state "+
+			"in a ppm.Array", root.Name)
+}
+
+// rootIdent walks to the base identifier of an assignment target
+// (x, x[i], x.f, *x, x[i].f, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

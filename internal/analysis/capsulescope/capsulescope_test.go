@@ -1,0 +1,12 @@
+package capsulescope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/capsulescope"
+)
+
+func TestCapsulescope(t *testing.T) {
+	analysistest.Run(t, "../testdata", capsulescope.Analyzer, "capsulescope/a")
+}

@@ -1,0 +1,128 @@
+// Package driver loads type-checked packages for the ppm analysis suite in
+// the two contexts cmd/ppmvet runs in:
+//
+//   - Standalone: `ppmvet ./...` shells out to `go list -export -deps` for
+//     package metadata and compiled export data, then parses and
+//     type-checks each target package from source.
+//   - Unit: `go vet -vettool=ppmvet` invokes the tool once per package with
+//     a *.cfg file describing the unit (the vet driver protocol); import
+//     resolution uses the export files cmd/go already built.
+//
+// Both paths feed analysis.RunPackage, so diagnostics, //ppm:allow
+// suppression, and ordering behave identically. Everything here is standard
+// library only: the gc export data is read through go/importer's lookup
+// hook rather than golang.org/x/tools.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Standalone runs the analyzers over the packages matching patterns (resolved
+// by the go tool from the current directory) and prints diagnostics to w.
+// The error count is returned; a nil error with count zero means a clean run.
+func Standalone(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		pkg := new(listPackage)
+		if err := dec.Decode(pkg); err == io.EOF {
+			break
+		} else if err != nil {
+			return 0, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if pkg.Error != nil {
+			return 0, fmt.Errorf("%s: %s", pkg.ImportPath, pkg.Error.Err)
+		}
+		if pkg.Export != "" {
+			exports[pkg.ImportPath] = pkg.Export
+		}
+		if !pkg.DepOnly && !pkg.Standard {
+			targets = append(targets, pkg)
+		}
+	}
+
+	count := 0
+	for _, pkg := range targets {
+		diags, err := checkPackage(pkg.ImportPath, pkg.Dir, pkg.GoFiles, exports, analyzers, w)
+		if err != nil {
+			return count, err
+		}
+		count += diags
+	}
+	return count, nil
+}
+
+// checkPackage parses, type-checks, and analyzes one package, printing its
+// diagnostics to w and returning how many there were.
+func checkPackage(importPath, dir string, goFiles []string, exports map[string]string,
+	analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return 0, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	diags, err := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(diags), nil
+}

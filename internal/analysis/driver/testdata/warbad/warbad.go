@@ -1,0 +1,17 @@
+// Package warbad is a deliberately WAR-conflicted package used by the
+// cmd/ppmvet smoke test: it lives under testdata/ so wildcard builds and
+// vet sweeps skip it, but an explicit `ppmvet ./internal/analysis/driver/
+// testdata/warbad` must flag the increment below.
+package warbad
+
+import "repro/ppm"
+
+var cell ppm.Array
+
+// Increment reads then writes the same slot: the canonical non-idempotent
+// capsule the warfree analyzer exists to reject.
+func Increment(c ppm.Ctx) {
+	v := cell.Get(c, 0)
+	cell.Set(c, 0, v+1)
+	c.Done()
+}

@@ -1,0 +1,113 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the JSON unit description cmd/go hands a -vettool, one file
+// per package (the unchecked fields of the protocol are accepted and
+// ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one vet unit described by cfgFile, printing diagnostics
+// to w in the file:line:col form cmd/go expects. It returns the process exit
+// code for main to pass on: 0 clean, 1 operational failure, 2 diagnostics
+// reported.
+func RunUnit(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(w, "parsing vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The suite exchanges no facts between packages, so the vetx output the
+	// driver caches is always empty — but it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(w, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(w, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

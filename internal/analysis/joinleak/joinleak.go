@@ -1,0 +1,268 @@
+// Package joinleak verifies the capsule control-transfer contract: every
+// capsule body (func(ppm.Ctx)) performs exactly one control transfer —
+// Done, Halt, Then, Seq, Fork, ForkThen, or ParallelFor — on every
+// execution path, as its final action.
+//
+// The contract is what keeps join cells balanced. A path that finishes
+// without a transfer leaks its fork's join: the pending counter never
+// reaches zero, the continuation never runs, and on the native engine the
+// run deadlocks with every worker spinning on empty deques. A path with two
+// transfers resolves the join twice (or installs two successors), corrupting
+// the fork-join protocol in ways a fault sweep only catches if a schedule
+// happens to exercise that path. A transfer inside a loop can do either,
+// depending on the trip count the inputs produce.
+//
+// panic() ends a path legitimately (the run dies loudly rather than
+// leaking), and `return` after a transfer is the standard early-exit idiom.
+package joinleak
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer verifies one control transfer per capsule path.
+var Analyzer = &analysis.Analyzer{
+	Name: "joinleak",
+	Doc: "every capsule path must end with exactly one control transfer " +
+		"(Done, Halt, Then, Seq, Fork, ForkThen, ParallelFor); a missed one " +
+		"leaks the enclosing join, a double one corrupts it",
+	Run: run,
+}
+
+// status describes the transfer history of the current path prefix.
+type status int
+
+const (
+	// none: no transfer has happened yet.
+	none status = iota
+	// terminated: exactly one transfer has happened on every way here.
+	terminated
+	// mixed: a transfer happened on some ways here but not others.
+	mixed
+	// exited: the path ended (return after transfer, or panic).
+	exited
+)
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range analysis.PPMFuncs(pass) {
+		if fn.Capsule {
+			checkCapsule(pass, fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   analysis.FuncInfo
+}
+
+func checkCapsule(pass *analysis.Pass, fn analysis.FuncInfo) {
+	c := &checker{pass: pass, fn: fn}
+	st := c.block(fn.Body.List, none)
+	switch st {
+	case none:
+		pass.Reportf(fn.Body.Rbrace,
+			"capsule %s can finish without a control transfer: its join is never "+
+				"resolved and the computation leaks (end with Done, Fork, ForkThen, "+
+				"ParallelFor, Seq, Then, or Halt)", fn.Name)
+	case mixed:
+		pass.Reportf(fn.Body.Rbrace,
+			"capsule %s performs a control transfer on some paths but not others; "+
+				"every path must transfer exactly once", fn.Name)
+	}
+}
+
+// block threads the path status through a statement list. Statements after
+// an exited path are unreachable and skipped.
+func (c *checker) block(stmts []ast.Stmt, st status) status {
+	for _, s := range stmts {
+		if st == exited {
+			break
+		}
+		st = c.stmt(s, st)
+	}
+	return st
+}
+
+func (c *checker) stmt(s ast.Stmt, st status) status {
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return st
+		}
+		if name, isTransfer := analysis.Transfer(c.pass.TypesInfo, call); isTransfer {
+			switch st {
+			case terminated:
+				c.pass.Reportf(s.Pos(),
+					"second control transfer %s in capsule %s: the join would be "+
+						"resolved twice", name, c.fn.Name)
+			case mixed:
+				c.pass.Reportf(s.Pos(),
+					"control transfer %s in capsule %s follows a path that already "+
+						"transferred: the join would be resolved twice on that path",
+					name, c.fn.Name)
+			}
+			c.noNestedTransfers(call)
+			return terminated
+		}
+		if isPanic(call) {
+			return exited
+		}
+		c.noNestedTransfers(s.X)
+		return st
+	case *ast.ReturnStmt:
+		switch st {
+		case none:
+			c.pass.Reportf(s.Pos(),
+				"capsule %s returns without a control transfer: its join is never "+
+					"resolved on this path", c.fn.Name)
+		case mixed:
+			c.pass.Reportf(s.Pos(),
+				"capsule %s returns with a control transfer on only some paths "+
+					"leading here", c.fn.Name)
+		}
+		return exited
+	case *ast.IfStmt:
+		thenSt := c.block(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt = c.stmt(s.Else, st)
+		}
+		return mergeStatus(thenSt, elseSt)
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.ForStmt:
+		c.checkLoop(s.Body, "for loop")
+		return st
+	case *ast.RangeStmt:
+		c.checkLoop(s.Body, "range loop")
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return c.switchStmt(s, st)
+	case *ast.DeferStmt:
+		if _, isTransfer := analysis.Transfer(c.pass.TypesInfo, s.Call); isTransfer {
+			c.pass.Reportf(s.Pos(),
+				"deferred control transfer in capsule %s: transfers must be the "+
+					"capsule's final action, not run during unwinding", c.fn.Name)
+		}
+		return st
+	default:
+		// Assignments, declarations, go/send/select (replaydet's turf):
+		// no transfer may hide in a nested literal, though.
+		c.noNestedTransfersInStmt(s)
+		return st
+	}
+}
+
+func (c *checker) switchStmt(s ast.Stmt, st status) status {
+	var body *ast.BlockStmt
+	switch sw := s.(type) {
+	case *ast.SwitchStmt:
+		body = sw.Body
+	case *ast.TypeSwitchStmt:
+		body = sw.Body
+	}
+	merged := exited // identity for mergeStatus
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		merged = mergeStatus(merged, c.block(cc.Body, st))
+	}
+	if !hasDefault {
+		merged = mergeStatus(merged, st) // no case may match
+	}
+	return merged
+}
+
+// checkLoop reports any control transfer inside a loop body: the loop may
+// run zero times (transfer never happens) or many (the join resolves more
+// than once). The safe idioms — sequential leaf loops, then one transfer —
+// keep the transfer after the loop.
+func (c *checker) checkLoop(body *ast.BlockStmt, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && analysis.HasOwnCtxParam(c.pass.TypesInfo, lit) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, isTransfer := analysis.Transfer(c.pass.TypesInfo, call); isTransfer {
+				c.pass.Reportf(call.Pos(),
+					"control transfer %s inside a %s in capsule %s: it may execute "+
+						"zero or multiple times depending on the trip count", name, what, c.fn.Name)
+			}
+		}
+		return true
+	})
+}
+
+// noNestedTransfers flags transfers hiding inside nested function literals
+// or argument expressions — a transfer must be a statement of the capsule
+// body, not a side effect of a callback.
+func (c *checker) noNestedTransfers(e ast.Expr) {
+	outer, _ := ast.Unparen(e).(*ast.CallExpr)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && analysis.HasOwnCtxParam(c.pass.TypesInfo, lit) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call == outer {
+			return true
+		}
+		if name, isTransfer := analysis.Transfer(c.pass.TypesInfo, call); isTransfer {
+			c.pass.Reportf(call.Pos(),
+				"control transfer %s buried in a nested expression in capsule %s: "+
+					"a transfer must be a top-level statement, the capsule's final action",
+				name, c.fn.Name)
+		}
+		return true
+	})
+}
+
+func (c *checker) noNestedTransfersInStmt(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && analysis.HasOwnCtxParam(c.pass.TypesInfo, lit) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, isTransfer := analysis.Transfer(c.pass.TypesInfo, call); isTransfer {
+				c.pass.Reportf(call.Pos(),
+					"control transfer %s buried in a nested expression in capsule %s: "+
+						"a transfer must be a top-level statement, the capsule's final action",
+					name, c.fn.Name)
+			}
+		}
+		return true
+	})
+}
+
+// mergeStatus joins the statuses of two alternative paths.
+func mergeStatus(a, b status) status {
+	if a == exited {
+		return b
+	}
+	if b == exited {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return mixed
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

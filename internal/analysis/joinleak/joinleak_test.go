@@ -1,0 +1,12 @@
+package joinleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/joinleak"
+)
+
+func TestJoinleak(t *testing.T) {
+	analysistest.Run(t, "../testdata", joinleak.Analyzer, "joinleak/a")
+}

@@ -1,0 +1,230 @@
+// Package replaydet forbids nondeterminism inside capsule code. A capsule
+// must be a deterministic function of its closure arguments and the
+// persistent memory it reads (the ppm.Func contract): after a soft fault
+// the runtime re-executes the capsule from its closure, and any value that
+// can differ between the original run and the replay — wall-clock time,
+// global PRNG draws, Go map iteration order feeding persistent writes, host
+// concurrency — makes the replay write different state than the attempt it
+// is supposed to repeat.
+//
+// Flagged inside any function with a ppm.Ctx parameter:
+//
+//   - wall-clock calls (time.Now, Since, Until, Sleep, After, Tick, ...)
+//   - package-level math/rand and math/rand/v2 draws (globally seeded
+//     state survives neither replay nor cross-engine runs) and any
+//     crypto/rand use
+//   - Ctx.Rand, which is documented as volatile: a replayed capsule may
+//     observe different values, so it is only safe feeding idempotent
+//     helper CAMs — justify such uses with //ppm:allow replaydet <reason>
+//   - ranging over a Go map when the loop body writes persistent memory
+//     (iteration order differs between attempt and replay)
+//   - host concurrency: go statements, channel operations, select, and
+//     sync/sync-atomic calls (capsules synchronize through CAM and the
+//     fork-join protocol, never through the Go runtime)
+package replaydet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags nondeterminism inside capsule code.
+var Analyzer = &analysis.Analyzer{
+	Name: "replaydet",
+	Doc: "forbid nondeterministic inputs (time, global rand, map order, host " +
+		"concurrency) inside capsules, whose fault replay must be exact",
+	Run: run,
+}
+
+// wallClock lists the time functions whose results differ across replays.
+// Pure construction and arithmetic (Date, Unix, ParseDuration) stay legal.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the math/rand names that do not draw from the global
+// source; everything else at package level does.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range analysis.PPMFuncs(pass) {
+		checkFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn analysis.FuncInfo) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literals with their own Ctx are separate entries in PPMFuncs;
+			// Ctx-less callbacks run inside this capsule, keep descending.
+			if n != fn.Node && analysis.HasOwnCtxParam(info, n) {
+				return false
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement inside capsule code: host goroutines outlive the capsule "+
+					"and break replay determinism — spawn work with Fork/ParallelFor")
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(),
+				"select inside capsule code is nondeterministic under replay")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside capsule code: capsules communicate through "+
+					"persistent memory, not host channels")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(),
+					"channel receive inside capsule code: capsules communicate through "+
+						"persistent memory, not host channels")
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// calleePkgFunc resolves a call to a plain (non-method) function and returns
+// its package path and name.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if info.Selections[fun] != nil {
+			return "", "", false // method call
+		}
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return "", "", false
+	}
+	f, isFunc := obj.(*types.Func)
+	if !isFunc || f.Pkg() == nil {
+		return "", "", false
+	}
+	return f.Pkg().Path(), f.Name(), true
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if name, ok := ctxMethod(info, call); ok && name == "Rand" {
+		pass.Reportf(call.Pos(),
+			"Ctx.Rand is volatile: a replayed capsule observes different values, "+
+				"so it is only safe feeding idempotent helper CAMs "+
+				"(justify with //ppm:allow replaydet <reason>)")
+		return
+	}
+	pkgPath, name, ok := calleePkgFunc(info, call)
+	if !ok {
+		// Method calls: flag the sync family wholesale (Mutex.Lock,
+		// WaitGroup.Wait, atomic.Value.Load, ...).
+		if recvPkg := methodRecvPkg(info, call); recvPkg == "sync" || recvPkg == "sync/atomic" {
+			pass.Reportf(call.Pos(),
+				"sync primitive inside capsule code: capsules synchronize through CAM "+
+					"and fork-join, not the Go runtime")
+		}
+		return
+	}
+	switch pkgPath {
+	case "time":
+		if wallClock[name] {
+			pass.Reportf(call.Pos(),
+				"time.%s inside capsule code: wall-clock values differ between a "+
+					"capsule and its fault replay", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from global PRNG state that fault replay does not restore; "+
+					"use a Source seeded from capsule arguments, or Ctx.Rand for CAM idioms",
+				pkgPath, name)
+		}
+	case "crypto/rand":
+		pass.Reportf(call.Pos(),
+			"crypto/rand inside capsule code is nondeterministic under replay")
+	case "sync", "sync/atomic":
+		pass.Reportf(call.Pos(),
+			"sync primitive inside capsule code: capsules synchronize through CAM "+
+				"and fork-join, not the Go runtime")
+	}
+}
+
+// ctxMethod resolves call as a method on ppm.Ctx and returns its name.
+func ctxMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal || !analysis.IsCtx(selection.Recv()) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// methodRecvPkg returns the defining package path of a method call's
+// receiver type, or "".
+func methodRecvPkg(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	t := selection.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// checkMapRange flags ranging over a map when the body performs persistent
+// writes: iteration order is randomized per run, so the attempt and its
+// replay write in different orders — and with Set/CAM even to different
+// locations first, which breaks the exactly-once story for racing readers.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	writes := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if writes {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if a, aok := analysis.AccessOf(pass.TypesInfo, call); aok && a.Kind == analysis.WriteAccess {
+				writes = true
+			}
+		}
+		return true
+	})
+	if writes {
+		pass.Reportf(rng.Pos(),
+			"map iteration feeding persistent writes: Go randomizes map order, so a "+
+				"fault replay writes in a different order than the attempt it repeats — "+
+				"iterate a sorted slice instead")
+	}
+}

@@ -1,0 +1,12 @@
+package replaydet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/replaydet"
+)
+
+func TestReplaydet(t *testing.T) {
+	analysistest.Run(t, "../testdata", replaydet.Analyzer, "replaydet/a")
+}

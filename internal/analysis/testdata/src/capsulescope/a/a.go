@@ -1,0 +1,53 @@
+// Fixture for the capsulescope analyzer: stale Ctx capture, mutation of
+// captured host state, and harness-side API inside capsules.
+package a
+
+import "repro/ppm"
+
+var arr ppm.Array
+var hostCounter int
+var hostSlice []uint64
+
+func register(rt *ppm.Runtime) {
+	total := 0
+	fr := rt.Register("leaf", func(c ppm.Ctx) { c.Done() })
+
+	rt.Register("mutator", func(c ppm.Ctx) {
+		total++          // want `capsule mutates "total"`
+		hostCounter += 2 // want `capsule mutates "hostCounter"`
+		hostSlice[0] = 1 // want `capsule mutates "hostSlice"`
+		c.Done()
+	})
+
+	rt.Register("locals", func(c ppm.Ctx) {
+		local := 0
+		local++
+		buf := make([]uint64, 4)
+		buf[0] = uint64(local)
+		arr.Set(c, 0, buf[0])
+		c.Done()
+	})
+
+	rt.Register("harness", func(c ppm.Ctx) {
+		_ = arr.Snapshot()       // want `Array\.Snapshot inside capsule code`
+		arr.Load([]uint64{1, 2}) // want `Array\.Load inside capsule code`
+		_ = rt.NewArray(4)       // want `Runtime\.NewArray inside capsule code`
+		_ = rt.Run(fr)           // want `Runtime\.Run inside capsule code`
+		c.Then(fr.Call(1))
+	})
+
+	rt.Register("outer", func(c ppm.Ctx) {
+		inner := func(c2 ppm.Ctx) {
+			_ = c.Int(0) // want `capsule uses Ctx "c" captured from an enclosing scope`
+			c2.Done()
+		}
+		_ = inner
+		c.Done()
+	})
+
+	rt.Register("allowed", func(c ppm.Ctx) {
+		//ppm:allow capsulescope fixture: single-proc debug counter
+		hostCounter++
+		c.Done()
+	})
+}

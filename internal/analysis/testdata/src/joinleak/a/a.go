@@ -1,0 +1,88 @@
+// Fixture for the joinleak analyzer: exactly one control transfer on every
+// capsule path.
+package a
+
+import "repro/ppm"
+
+var step ppm.FuncRef
+
+func missing(c ppm.Ctx) {} // want `capsule missing can finish without a control transfer`
+
+func earlyReturn(c ppm.Ctx) {
+	if c.Int(0) == 0 {
+		return // want `returns without a control transfer`
+	}
+	c.Done()
+}
+
+func goodEarlyExit(c ppm.Ctx) {
+	if c.Int(0) == 0 {
+		c.Done()
+		return
+	}
+	c.Then(step.Call(c.Int(0) - 1))
+}
+
+func double(c ppm.Ctx) {
+	c.Done()
+	c.Halt() // want `second control transfer Halt`
+}
+
+func onlySomePaths(c ppm.Ctx) {
+	if c.Int(0) > 0 {
+		c.Done()
+	}
+} // want `control transfer on some paths but not others`
+
+func loopTransfer(c ppm.Ctx) {
+	for i := 0; i < c.Int(0); i++ {
+		c.Fork(step.Call(i), step.Call(i+1)) // want `control transfer Fork inside a for loop`
+	}
+	c.Done()
+}
+
+func deferred(c ppm.Ctx) {
+	defer c.Done() // want `deferred control transfer`
+	c.Halt()
+}
+
+func switchAllCases(c ppm.Ctx) {
+	switch c.Int(0) {
+	case 0:
+		c.Done()
+	case 1:
+		c.Halt()
+	default:
+		c.Then(step.Call(0))
+	}
+}
+
+func switchNoDefault(c ppm.Ctx) {
+	switch c.Int(0) {
+	case 0:
+		c.Done()
+	}
+} // want `control transfer on some paths but not others`
+
+func panicPath(c ppm.Ctx) {
+	if c.Int(0) < 0 {
+		panic("negative argument")
+	}
+	c.Done()
+}
+
+func nestedLiteral(c ppm.Ctx) {
+	finish := func() {
+		c.Done() // want `control transfer Done buried in a nested expression`
+	}
+	finish()
+	c.Halt()
+}
+
+func spawner(c ppm.Ctx) {
+	c.ParallelFor(step, 0, c.Int(0), 8)
+}
+
+func helper(c ppm.Ctx, i int) uint64 {
+	return c.Uint(i) // helpers with extra parameters are exempt
+}

@@ -1,0 +1,18 @@
+// Package rand is a minimal analysistest stand-in for math/rand.
+package rand
+
+type Source interface {
+	Int63() int64
+}
+
+type Rand struct{}
+
+func Int63() int64                { return 0 }
+func Intn(n int) int              { return 0 }
+func Uint64() uint64              { return 0 }
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func (r *Rand) Intn(n int) int { return 0 }
+func (r *Rand) Uint64() uint64 { return 0 }
+func (r *Rand) Int63() int64   { return 0 }

@@ -1,0 +1,80 @@
+// Fixture for the replaydet analyzer: nondeterministic inputs that must be
+// kept out of capsule code, and the deterministic idioms that must pass.
+package a
+
+import (
+	crand "crypto/rand"
+	mrand "math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/ppm"
+)
+
+var arr ppm.Array
+var mu sync.Mutex
+var counter uint64
+
+func wallClock(c ppm.Ctx) {
+	_ = time.Now()      // want `time\.Now inside capsule code`
+	time.Sleep(1)       // want `time\.Sleep inside capsule code`
+	_ = time.Unix(0, 0) // pure construction stays legal
+	c.Done()
+}
+
+func globalPRNG(c ppm.Ctx) {
+	_ = mrand.Int63() // want `math/rand\.Int63 draws from global PRNG state`
+	_ = mrand.Intn(8) // want `math/rand\.Intn draws from global PRNG state`
+	r := mrand.New(mrand.NewSource(int64(c.Uint(0))))
+	_ = r.Intn(8) // seeded from capsule arguments: deterministic, legal
+	c.Done()
+}
+
+func cryptoRand(c ppm.Ctx) {
+	var buf [8]byte
+	_, _ = crand.Read(buf[:]) // want `crypto/rand inside capsule code`
+	c.Done()
+}
+
+func volatileRand(c ppm.Ctx) {
+	_ = c.Rand() // want `Ctx\.Rand is volatile`
+	c.Done()
+}
+
+func allowedRand(c ppm.Ctx) {
+	//ppm:allow replaydet fixture: feeds an idempotent CAM claim
+	_ = c.Rand()
+	c.Done()
+}
+
+func hostConcurrency(c ppm.Ctx) {
+	ch := make(chan int, 1)
+	go hostWork(ch) // want `go statement inside capsule code`
+	ch <- 1         // want `channel send inside capsule code`
+	_ = <-ch        // want `channel receive inside capsule code`
+	select {}       // want `select inside capsule code`
+}
+
+func hostWork(ch chan int) {}
+
+func hostSync(c ppm.Ctx) {
+	mu.Lock()                     // want `sync primitive inside capsule code`
+	mu.Unlock()                   // want `sync primitive inside capsule code`
+	atomic.AddUint64(&counter, 1) // want `sync primitive inside capsule code`
+	c.Done()
+}
+
+func mapOrder(c ppm.Ctx, weights map[int]uint64) {
+	for k, v := range weights { // want `map iteration feeding persistent writes`
+		arr.Set(c, k, v)
+	}
+}
+
+func mapReadOnly(c ppm.Ctx, weights map[int]uint64) uint64 {
+	var sum uint64
+	for _, v := range weights { // reads only: order cannot leak into memory
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,16 @@
+// Package time is a minimal analysistest stand-in for the standard library's
+// time package: just the names the replaydet fixtures mention.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Sleep(d Duration)      {}
+func Unix(sec, nsec int64) Time {
+	return Time{}
+}
+
+func (t Time) UnixNano() int64 { return 0 }

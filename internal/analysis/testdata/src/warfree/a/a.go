@@ -1,0 +1,100 @@
+// Fixture for the warfree analyzer: write-after-read conflicts and the
+// idioms that must stay clean.
+package a
+
+import "repro/ppm"
+
+var src ppm.Array
+var dst ppm.Array
+
+// Packed arrays conflict at whole-array granularity.
+func packedWAR(c ppm.Ctx) {
+	v := src.Get(c, 0)
+	src.Set(c, 1, v+1) // want `write-after-read conflict`
+	c.Done()
+}
+
+// A prior write shields later reads: reads of your own output are not
+// exposed, and writing again stays clean.
+func writeThenRead(c ppm.Ctx) {
+	dst.Set(c, 0, 1)
+	_ = dst.Get(c, 0)
+	dst.Set(c, 1, 2)
+	c.Done()
+}
+
+// Reading one array and writing another is the canonical WAR-free shape;
+// argument evaluation order means the Get runs before the Set.
+func copyElem(c ppm.Ctx) {
+	dst.Set(c, 0, src.Get(c, 0))
+	c.Done()
+}
+
+// A read exposed on only one branch still poisons the write after the merge.
+func branchRead(c ppm.Ctx) {
+	if c.Int(0) > 0 {
+		_ = src.Get(c, 2)
+	}
+	src.Set(c, 2, 7) // want `write-after-read conflict`
+	c.Done()
+}
+
+// A write on both branches shields the read after the merge.
+func branchWrite(c ppm.Ctx) {
+	if c.Int(0) > 0 {
+		dst.Set(c, 3, 1)
+	} else {
+		dst.Set(c, 3, 2)
+	}
+	_ = dst.Get(c, 3)
+	dst.Set(c, 4, 3)
+	c.Done()
+}
+
+// Raw-address accesses compare by expression text.
+func rawWAR(c ppm.Ctx) {
+	a := c.Addr(0)
+	v := c.Read(a)
+	c.Write(a, v+1) // want `write-after-read conflict`
+	c.Done()
+}
+
+// CAM is a write; with no exposed read before it, the capsule is clean.
+func camClaim(c ppm.Ctx) {
+	c.CAM(dst.At(0), 0, c.Uint(0))
+	c.Done()
+}
+
+// Range is a read; the callback without its own Ctx is inlined, and a later
+// write to the ranged array conflicts.
+func rangeThenWrite(c ppm.Ctx) {
+	src.Range(c, 0, 4, func(i int, v uint64) {
+		dst.Set(c, i, v)
+	})
+	src.Set(c, 0, 9) // want `write-after-read conflict`
+	c.Done()
+}
+
+// Helpers with extra parameters are analyzed too: their accesses happen
+// inside whichever capsule calls them.
+func helperWAR(c ppm.Ctx, i int) uint64 {
+	v := src.Get(c, i)
+	src.Set(c, i, v+1) // want `write-after-read conflict`
+	return v
+}
+
+// An //ppm:allow comment on the line above suppresses the diagnostic.
+func allowed(c ppm.Ctx) {
+	v := src.Get(c, 5)
+	//ppm:allow warfree fixture: sole capsule of its run, replay re-reads args
+	src.Set(c, 5, v)
+	c.Done()
+}
+
+// Regression (E12 / TestScriptedSoftFault): the in-place increment through
+// At-addresses is the canonical non-idempotent capsule.
+func inPlaceIncrement(c ppm.Ctx) {
+	v := c.Read(dst.At(0))
+	c.Write(dst.At(0), v+1) // want `write-after-read conflict`
+	c.Halt()
+}

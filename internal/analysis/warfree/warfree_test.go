@@ -1,0 +1,12 @@
+package warfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/warfree"
+)
+
+func TestWarfree(t *testing.T) {
+	analysistest.Run(t, "../testdata", warfree.Analyzer, "warfree/a", "warfree/blockarr")
+}

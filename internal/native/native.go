@@ -11,6 +11,7 @@ import (
 	"repro/internal/pmem"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/warcheck"
 )
 
 // Config sizes a native runtime.
@@ -44,6 +45,14 @@ type Config struct {
 	// committed write of the worker's capsule counter to a dedicated epoch
 	// word, the overhead the paper's native experiments measure (§7).
 	Persist bool
+	// WARCheck threads a warcheck.Tracker through every capsule boundary and
+	// memory operation: each worker tracks the block-granular access sequence
+	// of its current task and records write-after-read conflicts (the same
+	// Theorem 3.1 precondition the model machine's checker verifies). Native
+	// allocations are block-aligned (see shardAlloc), so block indices mean
+	// the same thing on both engines. Debug-only: it adds a map touch per
+	// memory operation.
+	WARCheck bool
 }
 
 func (c *Config) fill() {
@@ -113,8 +122,9 @@ type Runtime struct {
 	heap   atomic.Int64 // global region bump pointer; shards refill from it
 	shards []shard
 
-	funcs []func(*Ctx)
-	names map[string]capsule.FuncID
+	funcs  []func(*Ctx)
+	names  map[string]capsule.FuncID
+	fnames []string // FuncID -> name, for WAR diagnostics
 
 	workers []*Ctx
 	done    atomic.Bool
@@ -132,10 +142,11 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	cfg.fill()
 	rt := &Runtime{
-		cfg:   cfg,
-		mem:   make([]uint64, cfg.MemWords),
-		funcs: []func(*Ctx){nil}, // ID 0 reserved, as in capsule.Registry
-		names: map[string]capsule.FuncID{},
+		cfg:    cfg,
+		mem:    make([]uint64, cfg.MemWords),
+		funcs:  []func(*Ctx){nil}, // ID 0 reserved, as in capsule.Registry
+		names:  map[string]capsule.FuncID{},
+		fnames: []string{""},
 	}
 	rt.heap.Store(int64(cfg.BlockWords)) // word 0 reserved as Nil
 	rt.shards = make([]shard, cfg.Shards)
@@ -151,6 +162,7 @@ func New(cfg Config) *Runtime {
 			shard: p % cfg.Shards,
 			dq:    newDeque(cfg.DequeCap),
 			rng:   rng.NewXoshiro256(sm.Next()),
+			war:   warcheck.New(cfg.WARCheck),
 		}
 	}
 	return rt
@@ -168,6 +180,7 @@ func (rt *Runtime) Register(name string, body func(*Ctx)) capsule.FuncID {
 	}
 	id := capsule.FuncID(len(rt.funcs))
 	rt.funcs = append(rt.funcs, body)
+	rt.fnames = append(rt.fnames, name)
 	rt.names[name] = id
 	return id
 }
@@ -299,6 +312,18 @@ func (rt *Runtime) PersistPoints() int64 {
 	return n
 }
 
+// WARViolations returns the write-after-read conflicts the per-worker
+// trackers recorded (empty unless Config.WARCheck). Call after Run/RunOnAll
+// returns; the log is bounded per worker, so a pathological program cannot
+// flood memory with diagnostics.
+func (rt *Runtime) WARViolations() []string {
+	var out []string
+	for _, w := range rt.workers {
+		out = append(out, w.warLog...)
+	}
+	return out
+}
+
 // ---- worker / execution context ----
 
 // Ctx is one worker's execution context: the receiver capsule bodies run
@@ -314,6 +339,11 @@ type Ctx struct {
 
 	cur  *task
 	next *task
+
+	// war tracks the current task's block-granular access sequence when
+	// Config.WARCheck is on; warLog accumulates formatted conflicts (bounded).
+	war    *warcheck.Tracker
+	warLog []string
 
 	// Counters are plain fields: each is touched only by the owning worker
 	// goroutine during a run and read by the harness after Wait.
@@ -384,6 +414,9 @@ func (w *Ctx) execute(t *task) {
 		w.cur, w.next = t, nil
 		w.capsules++
 		w.taskWork = 0
+		if w.war.Enabled() {
+			w.war.Reset() // a task is a capsule: conflicts are intra-task
+		}
 		switch t.kind {
 		case taskUser:
 			w.rt.funcs[t.fn](w)
@@ -391,6 +424,9 @@ func (w *Ctx) execute(t *task) {
 			w.runPfor(t)
 		case taskNop:
 			w.Done()
+		}
+		if w.war.Enabled() {
+			w.noteWARs(t)
 		}
 		if w.taskWork > w.maxTaskWork {
 			w.maxTaskWork = w.taskWork
@@ -403,6 +439,44 @@ func (w *Ctx) execute(t *task) {
 			w.writes++
 		}
 		t = w.next
+	}
+}
+
+// noteWARs drains the tracker's per-task conflicts into the bounded log,
+// formatted like the model machine's recordWAR so cross-engine runs compare
+// line for line.
+func (w *Ctx) noteWARs(t *task) {
+	const maxLog = 64
+	for _, v := range w.war.Violations() {
+		if len(w.warLog) >= maxLog {
+			return
+		}
+		name := "pfor"
+		if t.kind == taskUser {
+			name = w.rt.fnames[t.fn]
+		}
+		w.warLog = append(w.warLog, fmt.Sprintf("proc %d capsule %s: %s", w.id, name, v))
+	}
+}
+
+// warRead/warWrite feed the tracker at block granularity; warReadSpan and
+// warWriteSpan cover the bulk operations, touching each spanned block once.
+// Callers guard with w.war.Enabled() to keep the fast path free of the
+// address arithmetic.
+func (w *Ctx) warRead(a pmem.Addr)  { w.war.OnRead(int(a) / w.rt.cfg.BlockWords) }
+func (w *Ctx) warWrite(a pmem.Addr) { w.war.OnWrite(int(a) / w.rt.cfg.BlockWords) }
+
+func (w *Ctx) warReadSpan(lo, hi pmem.Addr) { // addresses [lo, hi)
+	b := pmem.Addr(w.rt.cfg.BlockWords)
+	for blk := lo / b; blk <= (hi-1)/b; blk++ {
+		w.war.OnRead(int(blk))
+	}
+}
+
+func (w *Ctx) warWriteSpan(lo, hi pmem.Addr) { // addresses [lo, hi)
+	b := pmem.Addr(w.rt.cfg.BlockWords)
+	for blk := lo / b; blk <= (hi-1)/b; blk++ {
+		w.war.OnWrite(int(blk))
 	}
 }
 
@@ -472,6 +546,9 @@ func (w *Ctx) Read(a pmem.Addr) uint64 {
 	w.rt.check(a)
 	w.reads++
 	w.taskWork++
+	if w.war.Enabled() {
+		w.warRead(a)
+	}
 	return atomic.LoadUint64(&w.rt.mem[a])
 }
 
@@ -480,6 +557,9 @@ func (w *Ctx) Write(a pmem.Addr, v uint64) {
 	w.rt.check(a)
 	w.writes++
 	w.taskWork++
+	if w.war.Enabled() {
+		w.warWrite(a)
+	}
 	atomic.StoreUint64(&w.rt.mem[a], v)
 }
 
@@ -489,6 +569,9 @@ func (w *Ctx) CAM(a pmem.Addr, old, new uint64) {
 	w.rt.check(a)
 	w.writes++
 	w.taskWork++
+	if w.war.Enabled() {
+		w.warWrite(a)
+	}
 	atomic.CompareAndSwapUint64(&w.rt.mem[a], old, new)
 }
 
@@ -517,6 +600,11 @@ func (w *Ctx) ReadRange(base pmem.Addr, lo, hi int, fn func(idx int, v uint64)) 
 	}
 	w.rt.check(base + pmem.Addr(lo))
 	w.rt.check(base + pmem.Addr(hi-1))
+	if w.war.Enabled() {
+		// Before the loop: fn may write through the worker, and the tracker
+		// must see this read first to keep it exposed.
+		w.warReadSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
+	}
 	mem := w.rt.mem[base+pmem.Addr(lo) : base+pmem.Addr(hi)]
 	for i, v := range mem {
 		fn(lo+i, v)
@@ -538,6 +626,9 @@ func (w *Ctx) ReadInto(base pmem.Addr, lo, hi int, dst []uint64) {
 	n := int64(hi - lo)
 	w.reads += n
 	w.taskWork += n
+	if w.war.Enabled() {
+		w.warReadSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
+	}
 }
 
 // Gather appends the words of k disjoint spans of base to dst in one tight
@@ -553,6 +644,9 @@ func (w *Ctx) Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64 {
 		w.rt.check(base + pmem.Addr(lo))
 		w.rt.check(base + pmem.Addr(hi-1))
 		dst = append(dst, w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)]...)
+		if w.war.Enabled() {
+			w.warReadSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
+		}
 		n += int64(hi - lo)
 	}
 	w.reads += n
@@ -573,6 +667,9 @@ func (w *Ctx) Scatter(base pmem.Addr, spans [][2]int, src []uint64) {
 		w.rt.check(base + pmem.Addr(lo))
 		w.rt.check(base + pmem.Addr(hi-1))
 		copy(w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)], src[:hi-lo])
+		if w.war.Enabled() {
+			w.warWriteSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
+		}
 		src = src[hi-lo:]
 		n += int64(hi - lo)
 	}
@@ -594,6 +691,9 @@ func (w *Ctx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {
 	n := int64(hi - lo)
 	w.writes += n
 	w.taskWork += n
+	if w.war.Enabled() {
+		w.warWriteSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
+	}
 }
 
 // ---- control transfers ----

@@ -9,7 +9,12 @@ import (
 // point and costs one unit per block transferred; on the native engine the
 // same operations execute directly on hardware. A capsule body must end
 // with exactly one control transfer: Done, Fork, ForkThen, ParallelFor,
-// Seq, Then, or Halt.
+// Seq, Then, or Halt. The joinleak analyzer in cmd/ppmvet enforces that
+// contract statically — every path through a capsule must perform exactly
+// one transfer, as a top-level statement — alongside warfree (no
+// write-after-read conflicts, Theorem 3.1), replaydet (no nondeterminism
+// a replay could observe), and capsulescope (no stale Ctx capture, host
+// mutation, or harness calls inside capsules).
 type Ctx struct {
 	e  capCtx
 	rt *Runtime

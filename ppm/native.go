@@ -36,6 +36,7 @@ func newNativeEngine(c config) *nativeEngine {
 		Shards:     c.nativeShards, // 0 = the native default (GOMAXPROCS or P)
 		Seed:       c.seed,
 		Persist:    c.nativePersist,
+		WARCheck:   c.nativeWARCheck,
 	})}
 }
 
@@ -63,7 +64,7 @@ func (n *nativeEngine) engineStats() Stats          { return n.rt.Stats() }
 func (n *nativeEngine) allocStats() AllocStats      { return n.rt.AllocStats() }
 func (n *nativeEngine) procs() int                  { return n.rt.P() }
 func (n *nativeEngine) blockWords() int             { return n.rt.BlockWords() }
-func (n *nativeEngine) warViolations() []string     { return nil }
+func (n *nativeEngine) warViolations() []string     { return n.rt.WARViolations() }
 func (n *nativeEngine) machine() *machine.Machine   { return nil }
 
 // persistPoints exposes the native persistence-point counter (0 elsewhere).

@@ -1,0 +1,76 @@
+package ppm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/ppm"
+)
+
+// TestWARCheckCrossEngine plants the same WAR-conflicted capsule on both
+// engines and asserts both dynamic checkers flag it, naming the capsule the
+// same way — the cross-validation that makes WithNativeWARCheck trustworthy.
+func TestWARCheckCrossEngine(t *testing.T) {
+	cases := []struct {
+		eng ppm.Engine
+		opt ppm.Option
+	}{
+		{ppm.EngineModel, ppm.WithWARCheck()},
+		{ppm.EngineNative, ppm.WithNativeWARCheck()},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.eng), func(t *testing.T) {
+			rt := ppm.New(ppm.WithEngine(tc.eng), tc.opt)
+			cell := rt.NewArray(1)
+			bad := rt.Register("war/incr", func(c ppm.Ctx) {
+				v := c.Read(cell.At(0))
+				//ppm:allow warfree this test plants the conflict both dynamic checkers must flag
+				c.Write(cell.At(0), v+1)
+				c.Halt()
+			})
+			rt.RunOnAll(bad)
+			vs := rt.WARViolations()
+			if len(vs) == 0 {
+				t.Fatal("planted WAR conflict not flagged")
+			}
+			if !strings.Contains(vs[0], "war/incr") {
+				t.Errorf("violation %q does not name the capsule", vs[0])
+			}
+			if !strings.Contains(vs[0], "write-after-read conflict") {
+				t.Errorf("violation %q missing the conflict description", vs[0])
+			}
+		})
+	}
+}
+
+// TestNativeWARCheckCleanWorkload runs catalog workloads on the native
+// engine with the tracker live and expects zero violations: the catalog is
+// WAR-free by construction (that is what makes it replay-safe on the model
+// engine), and the tracker must not manufacture false positives from the
+// native memory paths (bulk ranges, gathers, scatters).
+func TestNativeWARCheckCleanWorkload(t *testing.T) {
+	for _, spec := range ppm.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			rt := ppm.New(
+				ppm.WithEngine(ppm.EngineNative),
+				ppm.WithProcs(4),
+				ppm.WithSeed(7),
+				ppm.WithMemWords(1<<24),
+				ppm.WithNativeWARCheck(),
+			)
+			algo := spec.New("nwar", catalogSize(spec.Name), 13)
+			algo.Build(rt)
+			if !algo.Run() {
+				t.Fatal("did not complete")
+			}
+			if err := algo.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if vs := rt.WARViolations(); len(vs) != 0 {
+				t.Fatalf("native WAR tracker flagged a catalog workload:\n%s",
+					strings.Join(vs, "\n"))
+			}
+		})
+	}
+}

@@ -14,20 +14,21 @@ type scriptedFault struct {
 }
 
 type config struct {
-	engine        Engine
-	procs         int
-	blockWords    int
-	ephWords      int
-	memWords      int
-	poolWords     int
-	dequeEntries  int
-	faultRate     float64
-	seed          uint64
-	warCheck      bool
-	nativePersist bool
-	nativeShards  int
-	hardAt        map[int]int64
-	scripted      []scriptedFault
+	engine         Engine
+	procs          int
+	blockWords     int
+	ephWords       int
+	memWords       int
+	poolWords      int
+	dequeEntries   int
+	faultRate      float64
+	seed           uint64
+	warCheck       bool
+	nativeWARCheck bool
+	nativePersist  bool
+	nativeShards   int
+	hardAt         map[int]int64
+	scripted       []scriptedFault
 }
 
 func defaultConfig() config {
@@ -37,10 +38,11 @@ func defaultConfig() config {
 // WithEngine selects the execution backend: EngineModel (the faithful
 // simulator, the default) or EngineNative (the goroutine work-stealing
 // hardware runtime). Fault-injection options (WithFaultRate, WithHardFault,
-// WithSoftFaultAt) and the WAR checker are model-engine features and are
-// ignored by the native engine, which always executes fault-free — matching
-// the paper's own native experiments, where only fault counts are
-// simulated.
+// WithSoftFaultAt) are model-engine features and are ignored by the native
+// engine, which always executes fault-free — matching the paper's own
+// native experiments, where only fault counts are simulated. The dynamic
+// WAR checker exists on both engines: WithWARCheck covers the model,
+// WithNativeWARCheck the native backend.
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithNativePersist makes the native engine commit a persistence point at
@@ -120,8 +122,20 @@ func WithSeed(s uint64) Option { return func(c *config) { c.seed = s } }
 
 // WithWARCheck enables the write-after-read conflict checker, which flags
 // capsules whose replay would not be idempotent (Theorem 3.1). Violations
-// are reported by Runtime.WARViolations.
+// are reported by Runtime.WARViolations. Model engine only; see
+// WithNativeWARCheck for the native backend, and the warfree analyzer in
+// cmd/ppmvet for the compile-time counterpart.
 func WithWARCheck() Option { return func(c *config) { c.warCheck = true } }
+
+// WithNativeWARCheck threads the same write-after-read tracker through the
+// native engine's capsule boundaries: each worker records its current task's
+// block-granular access sequence, and conflicts surface through
+// Runtime.WARViolations in the model checker's format, so a program can be
+// cross-validated on both engines. Native allocations are block-aligned, so
+// block indices agree with the model. Debug option: it adds tracker
+// bookkeeping to every memory operation. Ignored by the model engine (use
+// WithWARCheck there).
+func WithNativeWARCheck() Option { return func(c *config) { c.nativeWARCheck = true } }
 
 // firstOf consults injectors in order and returns the first non-None
 // verdict. Every injector sees every access, so access-ordinal counters

@@ -102,6 +102,7 @@ func TestScriptedSoftFault(t *testing.T) {
 	cell := rt.NewArray(1)
 	incr := rt.Register("incr", func(c ppm.Ctx) {
 		v := c.Read(cell.At(0))
+		//ppm:allow warfree this test plants the WAR conflict to observe the double-apply
 		c.Write(cell.At(0), v+1)
 		c.Halt()
 	})
@@ -146,7 +147,7 @@ func TestArrayRoundTrip(t *testing.T) {
 		buf := make([]uint64, 100)
 		a.Range(c, 0, 100, func(i int, v uint64) { buf[i] = v + 1 })
 		dst.SetRange(c, 0, buf)
-		b.Set(c, 2, b.Get(c, 2)+41)
+		b.Set(c, 3, b.Get(c, 2)+41)
 		c.Halt()
 	})
 	rt.RunOnAll(cp)
@@ -156,7 +157,7 @@ func TestArrayRoundTrip(t *testing.T) {
 			t.Fatalf("capsule copy [%d] = %d, want %d", i, got[i], vals[i]+1)
 		}
 	}
-	if v := b.Snapshot()[2]; v != 41 {
+	if v := b.Snapshot()[3]; v != 41 {
 		t.Errorf("block slot = %d, want 41", v)
 	}
 }
