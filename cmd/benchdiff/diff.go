@@ -30,6 +30,10 @@ type Row struct {
 	P        int     `json:"p"`
 	WallMS   float64 `json:"wall_ms"`
 	Verified bool    `json:"verified"`
+	// Native scheduler instrumentation (zero on model rows), checked by
+	// CheckSched: the configured steal-batch ceiling and the probe counter.
+	StealBatch int   `json:"steal_batch"`
+	StealTries int64 `json:"steal_tries"`
 }
 
 // key identifies a row across runs: same experiment, workload, engine, and
@@ -197,6 +201,42 @@ func CheckAnchors(rows []Row, anchors map[string]float64) []Finding {
 			out = append(out, Finding{w, "anchor has no verified model/native row pair", true})
 		}
 	}
+	return out
+}
+
+// CheckSched verifies that the native scheduler's instrumentation made it
+// into the bench rows: every native row must carry a positive steal_batch
+// (the configured ceiling — nonzero whenever SchedStats is wired through),
+// and model rows must stay zero (the engine seam must not leak native
+// counters into the simulator's rows). Steal activity itself (steal_tries)
+// is reported as a note, not a gate: on a busy or single-core runner a
+// short run can legitimately finish without a single probe.
+func CheckSched(rows []Row) []Finding {
+	var out []Finding
+	nativeRows, tries := 0, int64(0)
+	for _, r := range rows {
+		switch r.Engine {
+		case "native":
+			nativeRows++
+			tries += r.StealTries
+			if r.StealBatch < 1 {
+				out = append(out, Finding{r.key(),
+					"native row lacks scheduler stats (steal_batch = 0)", true})
+			}
+		case "model":
+			if r.StealBatch != 0 || r.StealTries != 0 {
+				out = append(out, Finding{r.key(),
+					"model row carries native scheduler stats", true})
+			}
+		}
+	}
+	if nativeRows == 0 {
+		out = append(out, Finding{"sched",
+			"no native rows to check scheduler stats on", true})
+		return out
+	}
+	out = append(out, Finding{"sched",
+		fmt.Sprintf("%d native rows, %d steal tries total", nativeRows, tries), false})
 	return out
 }
 

@@ -139,11 +139,57 @@ func TestCheckAnchorsIgnoresUnverifiedRows(t *testing.T) {
 	}
 }
 
+func schedRow(engine string, batch int, tries int64) Row {
+	r := row("cat", "mergesort", engine, 4096, 2, 1.0, true)
+	r.StealBatch, r.StealTries = batch, tries
+	return r
+}
+
+func TestCheckSchedPass(t *testing.T) {
+	rows := []Row{
+		schedRow("model", 0, 0),
+		schedRow("native", 8, 120),
+		schedRow("native", 8, 0), // idle run: batch present, no probes — fine
+	}
+	fs := CheckSched(rows)
+	if len(fatals(fs)) != 0 {
+		t.Fatalf("instrumented rows must pass: %v", fs)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "2 native rows") {
+		t.Fatalf("want one summary note, got %v", fs)
+	}
+}
+
+func TestCheckSchedMissingStats(t *testing.T) {
+	fs := fatals(CheckSched([]Row{schedRow("native", 0, 0)}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "steal_batch") {
+		t.Fatalf("a native row without steal_batch must fail, got %v", fs)
+	}
+}
+
+func TestCheckSchedModelLeak(t *testing.T) {
+	fs := fatals(CheckSched([]Row{schedRow("model", 8, 0), schedRow("native", 8, 1)}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "model row") {
+		t.Fatalf("native counters on a model row must fail, got %v", fs)
+	}
+}
+
+func TestCheckSchedNoNativeRows(t *testing.T) {
+	fs := fatals(CheckSched([]Row{schedRow("model", 0, 0)}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "no native rows") {
+		t.Fatalf("a sched check with nothing to check must fail, got %v", fs)
+	}
+}
+
 func TestLoadRows(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")
+	// The row carries columns this Row struct has never heard of — the gate
+	// must parse the known subset and ignore the rest, so ppmbench can grow
+	// its schema without breaking diffs against old artifacts.
 	content := `[{"exp":"cat","workload":"merge","engine":"native","n":4096,"p":2,` +
-		`"wall_ms":1.5,"work":7,"verified":true,"some_future_field":3}]`
+		`"wall_ms":1.5,"work":7,"verified":true,"steal_batch":8,"steal_tries":5,` +
+		`"some_future_field":3,"nested_future":{"a":[1,2]}}]`
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -153,6 +199,9 @@ func TestLoadRows(t *testing.T) {
 	}
 	if len(rows) != 1 || rows[0].WallMS != 1.5 || !rows[0].Verified {
 		t.Fatalf("bad parse: %+v", rows)
+	}
+	if rows[0].StealBatch != 8 || rows[0].StealTries != 5 {
+		t.Fatalf("sched columns did not parse: %+v", rows[0])
 	}
 	if _, err := loadRows(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
 		t.Fatalf("missing file must surface IsNotExist, got %v", err)

@@ -13,6 +13,7 @@ func main() {
 	minWall := flag.Float64("min-wall-ms", 1.0, "skip regressions on rows faster than this (timer noise)")
 	anchors := anchorFlags{}
 	flag.Var(anchors, "anchor", "workload=minRatio: require model/native speedup >= minRatio in -new (repeatable; skips -old diffing)")
+	requireSched := flag.Bool("require-sched", false, "require native rows in -new to carry scheduler stats (steal_batch > 0)")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -33,26 +34,32 @@ func main() {
 	}
 
 	var findings []Finding
+	if *requireSched {
+		findings = append(findings, CheckSched(cur)...)
+	}
 	switch {
 	case len(anchors) > 0:
-		findings = CheckAnchors(cur, anchors)
+		findings = append(findings, CheckAnchors(cur, anchors)...)
+	case *requireSched && *oldPath == "":
+		// -require-sched alone is a complete check; no diffing requested.
 	default:
 		if *oldPath == "" {
-			fmt.Fprintln(os.Stderr, "benchdiff: need -old (row diff) or -anchor (speedup check)")
+			fmt.Fprintln(os.Stderr, "benchdiff: need -old (row diff), -anchor (speedup check), or -require-sched")
 			flag.Usage()
 			os.Exit(2)
 		}
 		old, err := loadRows(*oldPath)
-		if err != nil {
-			if os.IsNotExist(err) {
-				// First run on this branch: nothing to diff against yet.
-				fmt.Printf("benchdiff: no previous records at %s; soft pass\n", *oldPath)
-				return
-			}
+		switch {
+		case err == nil:
+			findings = append(findings, Compare(old, cur, Options{Threshold: *threshold, MinWallMS: *minWall})...)
+		case os.IsNotExist(err):
+			// First run on this branch: nothing to diff against yet. Any
+			// -require-sched findings still apply.
+			fmt.Printf("benchdiff: no previous records at %s; soft pass on the diff\n", *oldPath)
+		default:
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
-		findings = Compare(old, cur, Options{Threshold: *threshold, MinWallMS: *minWall})
 	}
 
 	failed := false

@@ -22,12 +22,7 @@ func catRT(eng ppm.Engine, p, n int) *ppm.Runtime {
 		// prefix-tree scratch (M = 1024 in the catalog).
 		ck := n/1024 + 2
 		mem := 1<<20 + 32*n + 8*ck*ck
-		return ppm.New(
-			ppm.WithEngine(eng),
-			ppm.WithProcs(p),
-			ppm.WithSeed(42),
-			ppm.WithMemWords(mem),
-		)
+		return ppm.New(append(nativeRTOpts(p), ppm.WithMemWords(mem))...)
 	}
 	return ppm.New(
 		ppm.WithEngine(eng),
@@ -93,6 +88,7 @@ func runCat(eng ppm.Engine) {
 			Verified: verified,
 		}
 		rec.allocFields(rt)
+		rec.schedFields(rt)
 		record(rec)
 	}
 	printSpeedups("cat")

@@ -71,18 +71,13 @@ func benchGraph() *graph.Graph {
 func graphRT(eng ppm.Engine, p int, g *graph.Graph) *ppm.Runtime {
 	need := 1<<21 + 12*g.N + 3*g.Arcs()
 	if eng == ppm.EngineNative {
-		return ppm.New(
-			ppm.WithEngine(eng),
-			ppm.WithProcs(p),
-			ppm.WithSeed(42),
-			ppm.WithMemWords(need),
-		)
+		return ppm.New(append(nativeRTOpts(p), ppm.WithMemWords(need))...)
 	}
 	// The round-structured graph programs spawn millions of small capsules
-	// at bench sizes, and which proc's closure pool they draw from depends
-	// on steal timing — scale the pools with the input so no interleaving
-	// runs one dry.
-	pool := 1<<21 + 16*g.N
+	// at bench sizes, but their drivers Seq once per round, so closure-pool
+	// generation recycling (machine.PoolGens) caps live pool pressure at a
+	// few rounds' worth regardless of input size — a fixed pool suffices.
+	pool := 1 << 22
 	mem := 1 << 25
 	if pools := p * pool; pools+need > mem {
 		mem = pools + need
@@ -152,6 +147,7 @@ func runGraphWorkload(exp, workload string, eng ppm.Engine, g *graph.Graph) {
 		Verified: verified,
 	}
 	rec.allocFields(rt)
+	rec.schedFields(rt)
 	record(rec)
 }
 

@@ -74,6 +74,16 @@ type benchRecord struct {
 	Shards       int   `json:"shards"`
 	AllocRefills int64 `json:"alloc_refills"`
 	AllocSpills  int64 `json:"alloc_spills"`
+	// Native-engine scheduler stats (zero on model rows): how the
+	// locality-first stealing behaved — configured batch ceiling, steal
+	// probes vs successes, tasks moved per grab, and whether victims came
+	// from the thief's shard-affine group.
+	StealBatch  int   `json:"steal_batch"`
+	StealTries  int64 `json:"steal_tries"`
+	BatchTasks  int64 `json:"batch_tasks"`
+	LocalHits   int64 `json:"local_hits"`
+	RemoteFalls int64 `json:"remote_falls"`
+	Parks       int64 `json:"parks"`
 }
 
 // allocFields copies the native allocator counters into a record (model
@@ -83,6 +93,19 @@ func (r *benchRecord) allocFields(rt *ppm.Runtime) {
 	r.Shards = as.Shards
 	r.AllocRefills = as.Refills
 	r.AllocSpills = as.Spills
+}
+
+// schedFields copies the native scheduler counters into a record (model
+// rows keep zeroes: the model machine's steal protocol is measured by its
+// own Steals/Restarts columns).
+func (r *benchRecord) schedFields(rt *ppm.Runtime) {
+	ss := rt.SchedStats()
+	r.StealBatch = ss.StealBatch
+	r.StealTries = ss.StealTries
+	r.BatchTasks = ss.BatchTasks
+	r.LocalHits = ss.LocalHits
+	r.RemoteFalls = ss.RemoteFalls
+	r.Parks = ss.Parks
 }
 
 // records is initialized non-nil so -json always emits a JSON array, even
@@ -96,7 +119,25 @@ func record(r benchRecord) { records = append(records, r) }
 var (
 	benchN int
 	benchP int
+	// benchStealBatch overrides the native scheduler's steal-batch ceiling
+	// (0 = engine default) — the knob behind -steal-batch, for A/B-ing
+	// batched against single-task stealing on the same binary.
+	benchStealBatch int
 )
+
+// nativeRTOpts are the engine options shared by every native benchmark
+// runtime: the fixed seed plus any -steal-batch override.
+func nativeRTOpts(p int) []ppm.Option {
+	opts := []ppm.Option{
+		ppm.WithEngine(ppm.EngineNative),
+		ppm.WithProcs(p),
+		ppm.WithSeed(42),
+	}
+	if benchStealBatch > 0 {
+		opts = append(opts, ppm.WithNativeStealBatch(benchStealBatch))
+	}
+	return opts
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (e1..e12, a1..a3, cat) or 'all'")
@@ -104,6 +145,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.IntVar(&benchN, "n", 0, "problem-size override for catalog experiments (0 = defaults)")
 	flag.IntVar(&benchP, "procs", 4, "processor count for the cat and graph experiments")
+	flag.IntVar(&benchStealBatch, "steal-batch", 0, "native steal-batch ceiling for cat/graph experiments (0 = engine default; 1 = single-task stealing)")
 	flag.StringVar(&graphKind, "graph", "rand", "graph generator for bfs/cc/pagerank/graph: rand, grid, or rmat")
 	flag.IntVar(&graphVerts, "vertices", 0, "vertex count for graph experiments (0 = default 8192)")
 	flag.IntVar(&graphEdges, "edges", 0, "undirected edge count for rand/rmat graphs (0 = 4x vertices)")

@@ -33,6 +33,7 @@ type FJ struct {
 	finish capsule.FuncID
 	noop   capsule.FuncID
 	pfor   capsule.FuncID
+	epoch  capsule.FuncID
 }
 
 // New registers the join capsules on m. Call once per machine.
@@ -47,6 +48,7 @@ func New(m *machine.Machine, s *sched.Scheduler) *FJ {
 		fj.TaskDone(e)
 	})
 	fj.pfor = m.Registry.Register("forkjoin/parfor", fj.runParFor)
+	fj.epoch = m.Registry.Register("forkjoin/epochAdvance", fj.runEpochAdvance)
 	return fj
 }
 
@@ -96,6 +98,28 @@ func (fj *FJ) Run(rootFid capsule.FuncID, rootArgs ...uint64) bool {
 // is cont — for forks that need no combine step.
 func (fj *FJ) NoopClosure(e capsule.Env, cont pmem.Addr) pmem.Addr {
 	return e.NewClosure(fj.noop, cont)
+}
+
+// InstallWithEpoch installs chain behind an epoch-advance capsule, marking a
+// sequential phase boundary for closure-pool recycling (machine.PoolGens):
+// the capsule CAMs the persistent epoch word forward by one, then continues
+// into chain. The target value is baked into the closure at build time from
+// a charged read of the epoch word, so the advance is a plain non-reverting
+// CAM — replaying it after a fault is a no-op, and replaying this builder
+// re-reads the same (phase-frozen) epoch. Chains that never pass through
+// here leave the epoch at 0, which keeps recycling inert. Must be the
+// calling capsule's final action.
+func (fj *FJ) InstallWithEpoch(e capsule.Env, chain pmem.Addr) {
+	cur := e.Read(fj.m.EpochAddr())
+	e.Install(e.NewClosure(fj.epoch, chain, cur+1))
+}
+
+// runEpochAdvance: args [next]. CAM the epoch word next-1 -> next and fall
+// through to the continuation (the Seq chain's first step).
+func (fj *FJ) runEpochAdvance(e capsule.Env) {
+	next := e.Arg(0)
+	e.CAM(fj.m.EpochAddr(), next-1, next)
+	e.Install(e.Cont())
 }
 
 // ParallelFor runs task(i, a0, a1) for every i in [lo, hi) as a balanced

@@ -138,14 +138,41 @@ func (p *Proc) Alloc(n int) pmem.Addr {
 		}
 		return a
 	}
+	// A cursor parked exactly on a pool boundary is the previous pool's
+	// overflow, not an allocation in the next pool (every pool starts with
+	// a setup area no cursor may enter): an allocation that exactly filled
+	// the pool leaves the cursor at poolEnd, which is the next pool's base.
+	for q := 0; q < p.m.cfg.P; q++ {
+		if a == p.m.poolEnd[q] {
+			wrapped, ok := p.m.wrapCursor(q, n)
+			if !ok {
+				panic(fmt.Sprintf("machine: closure pool of proc %d exhausted", q))
+			}
+			a = wrapped
+			p.allocPtr = a + pmem.Addr(n)
+			p.m.noteAllocSpan(q, a, p.allocPtr)
+			return a
+		}
+	}
 	// The chain may legitimately be allocating from another (dead)
 	// processor's pool after a takeover; bounds-check whichever pool owns
 	// the pointer.
 	for q := 0; q < p.m.cfg.P; q++ {
 		if a >= p.m.poolBase[q] && a < p.m.poolEnd[q] {
 			if p.allocPtr > p.m.poolEnd[q] {
-				panic(fmt.Sprintf("machine: closure pool of proc %d exhausted", q))
+				// With generation recycling live (see gens.go), the pool is
+				// circular: wrap to the first region, claiming it. The wrap
+				// replays deterministically — the overflowing cursor comes
+				// from the closure, and everything after the wrap point is
+				// re-executed and rewritten.
+				wrapped, ok := p.m.wrapCursor(q, n)
+				if !ok {
+					panic(fmt.Sprintf("machine: closure pool of proc %d exhausted", q))
+				}
+				a = wrapped
+				p.allocPtr = a + pmem.Addr(n)
 			}
+			p.m.noteAllocSpan(q, a, p.allocPtr)
 			return a
 		}
 	}

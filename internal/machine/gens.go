@@ -1,0 +1,204 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Closure-pool generation recycling.
+//
+// A Seq chain (ppm.Ctx.Seq) installs an epoch-advance capsule at its head
+// (see forkjoin.InstallWithEpoch): a CAM that bumps the persistent epoch
+// word at EpochAddr. Long round-structured programs — a graph algorithm's
+// driver re-Seq-ing once per round — therefore advance the epoch once or
+// twice per round, and the pool pressure of such programs is bounded per
+// epoch window, not per run: a round's closures and join cells are dead
+// once the round's joins resolve, at most two epochs after they were
+// allocated (the chain itself is read one epoch after the advance; one
+// level of nested Seq — a prefix-sum inside a round — adds one more).
+//
+// The pool is treated as a circular buffer of PoolGens regions above the
+// setup area (InstallSelf slots, steal arena, harness-built root closures).
+// The cursor bumps upward exactly as always; crossing into a region claims
+// it, and running off the pool end wraps the cursor back to the first
+// region. A claim zeroes the region's dirtied prefix — restoring the
+// fresh-pool-memory-is-zero invariant that join cells rely on (Fork2
+// allocates its CAM cell unwritten) — but only if the region's newest
+// allocation is at least LiveEpochs behind the current epoch; otherwise it
+// panics loudly rather than corrupt data that may still be live. Zeroing
+// costs nothing and bypasses the memory watcher: it is the allocator
+// reclaiming memory, not the program writing it. Per-region high-water
+// marks keep the zeroing proportional to what was actually dirtied.
+//
+// Two degenerate shapes fall out for free. A program that never Seqs keeps
+// the epoch at 0: wrapping is disabled, nothing is ever claimed-with-data,
+// and the pool behaves exactly as the classic run-long bump allocator. A
+// phase-heavy program with only a few Seqs (samplesort's one root chain)
+// gets the whole pool per epoch window — the margin check only bites when
+// allocation outruns pool capacity within LiveEpochs epochs, which is the
+// same "raise PoolWords" condition the classic allocator had.
+//
+// Replay safety: claims fire when the cursor first crosses a region
+// boundary; a replayed capsule re-allocates from its closure's recorded
+// cursor, below the per-pool claim frontier, so replays rewrite the aborted
+// attempt's words identically without re-zeroing live state. The one
+// exception is the pool-end wrap, which re-claims the first region on
+// replay — idempotent, because everything after the wrap is re-executed and
+// rewritten. One live chain allocates from a pool at a time (steal-arena
+// halves and takeover hand the cursor off sequentially), so claim state
+// needs no cross-proc coordination.
+
+// PoolGens is the number of circular regions each closure pool is split
+// into — granular enough that a claim reclaims a quarter pool at a time,
+// coarse enough that per-alloc bookkeeping is two compares.
+const PoolGens = 4
+
+// LiveEpochs is the reuse margin: a region may be zeroed only when its
+// newest allocation is at least this many epochs old. Chain closures are
+// read at most two epochs after allocation (advance + one nested Seq), so
+// three leaves one epoch of slack.
+const LiveEpochs = 3
+
+// EpochCtrl is the control-word index of the persistent Seq-epoch counter
+// (control word 0 is the scheduler's done flag).
+const EpochCtrl = 1
+
+// EpochAddr returns the address of the persistent epoch word.
+func (m *Machine) EpochAddr() pmem.Addr { return m.CtrlAddr(EpochCtrl) }
+
+// freezeGens fixes each pool's region geometry at the moment the machine
+// first runs: everything the harness allocated during setup stays outside
+// the recycled area forever.
+func (m *Machine) freezeGens() {
+	m.genOnce.Do(func() {
+		for p := 0; p < m.cfg.P; p++ {
+			base := m.alignBlock(m.setupCur[p])
+			size := (m.poolEnd[p] - base) / PoolGens
+			size = size / pmem.Addr(m.cfg.BlockWords) * pmem.Addr(m.cfg.BlockWords)
+			if size <= 0 {
+				// Degenerate pool (all setup): leave recycling disabled.
+				continue
+			}
+			m.genBase[p] = base
+			m.genSize[p] = size
+			for r := 0; r < PoolGens; r++ {
+				m.genHigh[p][r].Store(int64(base + pmem.Addr(r)*size))
+			}
+		}
+	})
+}
+
+// poolOf returns which processor's pool contains a. O(1): pools are
+// contiguous and equal-sized.
+func (m *Machine) poolOf(a pmem.Addr) (int, bool) {
+	if a < m.poolBase[0] || a >= m.poolEnd[m.cfg.P-1] {
+		return 0, false
+	}
+	return int((a - m.poolBase[0]) / pmem.Addr(m.cfg.PoolWords)), true
+}
+
+// regionOf returns the region of address a in pool q (clamped: the tail
+// words left over by the equal split belong to the last region).
+func (m *Machine) regionOf(q int, a pmem.Addr) int {
+	r := int((a - m.genBase[q]) / m.genSize[q])
+	if r >= PoolGens {
+		r = PoolGens - 1
+	}
+	return r
+}
+
+// regionBounds returns region r's [start, end); the last region absorbs the
+// equal-split remainder up to the pool end.
+func (m *Machine) regionBounds(q, r int) (pmem.Addr, pmem.Addr) {
+	start := m.genBase[q] + pmem.Addr(r)*m.genSize[q]
+	if r == PoolGens-1 {
+		return start, m.poolEnd[q]
+	}
+	return start, start + m.genSize[q]
+}
+
+// claimRegion reclaims region r of pool q for reuse: it zeroes the dirtied
+// prefix recorded by the high-water mark, guarded by the LiveEpochs margin.
+// Virgin regions (high == start) claim for free, which is every claim of a
+// program's first lap through the pool.
+func (m *Machine) claimRegion(q, r int) {
+	start, _ := m.regionBounds(q, r)
+	high := pmem.Addr(m.genHigh[q][r].Swap(int64(start)))
+	if high <= start {
+		return
+	}
+	epoch := m.Mem.Read(m.EpochAddr())
+	last := uint64(m.genLastW[q][r].Load())
+	if epoch < last+LiveEpochs {
+		panic(fmt.Sprintf(
+			"machine: closure pool %d exhausted: region %d still holds epoch-%d allocations at epoch %d (live window %d); raise PoolWords",
+			q, r, last, epoch, LiveEpochs))
+	}
+	m.Mem.Zero(start, int(high-start))
+}
+
+// noteAllocSpan records allocation [a, end) in pool q: it claims any region
+// the cursor newly entered, advances the claim frontier, and folds the span
+// into the per-region high-water and last-write-epoch marks. Free
+// bookkeeping; runs on every pool Alloc.
+func (m *Machine) noteAllocSpan(q int, a, end pmem.Addr) {
+	if m.genSize[q] == 0 {
+		return // geometry not frozen or recycling disabled
+	}
+	if a < m.genBase[q] {
+		if end <= m.genBase[q] {
+			return // entirely inside the setup area
+		}
+		a = m.genBase[q] // span straddles the setup boundary: track the tail
+	}
+	r2 := m.regionOf(q, end-1)
+	cur := int(m.genCur[q].Load())
+	for r := cur + 1; r <= r2; r++ {
+		m.claimRegion(q, r)
+	}
+	if r2 > cur {
+		m.genCur[q].Store(int64(r2))
+	}
+	epoch := m.Mem.Read(m.EpochAddr())
+	for r := m.regionOf(q, a); r <= r2; r++ {
+		_, re := m.regionBounds(q, r)
+		top := end
+		if top > re {
+			top = re
+		}
+		hw := &m.genHigh[q][r]
+		for {
+			old := hw.Load()
+			if old >= int64(top) || hw.CompareAndSwap(old, int64(top)) {
+				break
+			}
+		}
+		if epoch > 0 {
+			lw := &m.genLastW[q][r]
+			for {
+				old := lw.Load()
+				if old >= int64(epoch) || lw.CompareAndSwap(old, int64(epoch)) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// wrapCursor is the pool-end overflow path: once the epoch has moved (the
+// program marks phase boundaries with Seq), a cursor running off the pool
+// end wraps back to the first region, claiming it. Returns false — leaving
+// the classic exhaustion panic to the caller — while recycling is inert or
+// for allocations that cannot fit a region.
+func (m *Machine) wrapCursor(q, n int) (pmem.Addr, bool) {
+	if m.genSize[q] == 0 || m.Mem.Read(m.EpochAddr()) == 0 {
+		return 0, false
+	}
+	if pmem.Addr(n) > m.genSize[q] {
+		return 0, false
+	}
+	m.claimRegion(q, 0)
+	m.genCur[q].Store(0)
+	return m.genBase[q], true
+}

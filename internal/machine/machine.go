@@ -103,6 +103,18 @@ type Machine struct {
 	heapCur       pmem.Addr   // setup-time cursor for the shared user heap
 	heapEnd       pmem.Addr
 
+	// Closure-pool generation recycling (see gens.go). Geometry is frozen at
+	// first Run/RunProc; genHigh tracks per-(pool, region) allocation
+	// high-water marks so claims zero only dirtied words, genLastW the epoch
+	// of each region's newest allocation (the reuse-margin input), and
+	// genCur each pool's claim frontier (the region its cursor last entered).
+	genOnce  sync.Once
+	genBase  []pmem.Addr
+	genSize  []pmem.Addr
+	genHigh  [][PoolGens]atomic.Int64
+	genLastW [][PoolGens]atomic.Int64
+	genCur   []atomic.Int64
+
 	// warViolations aggregates conflicts found by the per-proc trackers.
 	warMu         sync.Mutex
 	warViolations []string
@@ -183,6 +195,11 @@ func New(cfg Config) *Machine {
 		cur += pmem.Addr(cfg.PoolWords)
 		m.poolEnd[p] = cur
 	}
+	m.genBase = make([]pmem.Addr, cfg.P)
+	m.genSize = make([]pmem.Addr, cfg.P)
+	m.genHigh = make([][PoolGens]atomic.Int64, cfg.P)
+	m.genLastW = make([][PoolGens]atomic.Int64, cfg.P)
+	m.genCur = make([]atomic.Int64, cfg.P)
 	m.heapCur = m.alignBlock(cur)
 	m.heapEnd = pmem.Addr(cfg.MemWords)
 	if m.heapCur >= m.heapEnd {
@@ -294,6 +311,7 @@ func (m *Machine) SetRestart(p int, closure pmem.Addr) {
 
 // Run starts all processors and waits for every one of them to halt or die.
 func (m *Machine) Run() {
+	m.freezeGens()
 	var wg sync.WaitGroup
 	for _, p := range m.procs {
 		wg.Add(1)
@@ -308,6 +326,7 @@ func (m *Machine) Run() {
 // RunProc runs a single processor to halt on the calling goroutine —
 // convenient for single-processor experiments and tests.
 func (m *Machine) RunProc(p int) {
+	m.freezeGens()
 	m.procs[p].loop()
 }
 

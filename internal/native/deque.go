@@ -132,6 +132,67 @@ func (d *deque) popTop() *task {
 	return tk
 }
 
+// stealHalf steals up to half the deque's resident tasks (capped at max) in
+// one coordinated grab: the first stolen task is returned for immediate
+// execution and the remaining ones are pushed onto dst, the thief's own
+// deque, so a burst of fine-grained work migrates once instead of paying one
+// cross-worker steal per task.
+//
+// The grab is a sequence of per-entry CASes on top, not a single CAS of
+// top -> top+k. A range claim by one CAS would be unsound against Chase–Lev's
+// owner: popBottom plain-takes any index strictly above the top value it
+// read, so while a thief's CAS(t -> t+k) is in flight the owner can take
+// indices t+k-1 .. t+1 without ever touching top, and a k >= 2 claim that
+// then lands would re-deliver them. Claiming one entry at a time keeps every
+// step a classic popTop — the CAS succeeds only while top is exactly the
+// claimed index, so the owner race is resolved per entry, exactly once.
+//
+// Two loads are hoisted out of the loop. The buffer pointer: growth never
+// mutates a superseded buffer and the owner recycles a slot only once its
+// logical index has dropped below top, so a slot read for index i while
+// top == i is valid in any buffer snapshot — and if top moved past i before
+// the read, the CAS on i fails and the value is discarded (the popTop
+// argument, per entry). The initial top/bottom pair: top is loaded before
+// bottom, as in popTop; every later iteration re-checks a fresh bottom
+// *after* its predecessor's CAS published the new top, which preserves the
+// load ordering the owner's store-bottom-then-read-top protocol pairs with.
+// Skipping that re-check would let a thief holding a stale bottom claim an
+// index the owner already plain-took.
+func (d *deque) stealHalf(dst *deque, max int) (*task, int) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	avail := b - t
+	if avail <= 0 {
+		return nil, 0
+	}
+	want := (avail + 1) / 2
+	if max < 1 {
+		max = 1
+	}
+	if want > int64(max) {
+		want = int64(max)
+	}
+	buf := d.buf.Load()
+	var first *task
+	var n int64
+	for n < want {
+		if n > 0 && t+n >= d.bottom.Load() {
+			break
+		}
+		tk := buf.slots[(t+n)&buf.mask].Load()
+		if !d.top.CompareAndSwap(t+n, t+n+1) {
+			break
+		}
+		if first == nil {
+			first = tk
+		} else {
+			dst.push(tk)
+		}
+		n++
+	}
+	return first, int(n)
+}
+
 // size reports a racy estimate of resident entries (monitoring only).
 func (d *deque) size() int64 {
 	n := d.bottom.Load() - d.top.Load()

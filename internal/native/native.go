@@ -39,6 +39,12 @@ type Config struct {
 	// default-sized segments can never claim more than a quarter of the
 	// memory; an explicit value is used as given.
 	SegWords int
+	// StealBatch caps how many tasks one steal grabs from a victim's deque
+	// (default 8; 1 restores single-task stealing). A thief takes up to half
+	// the victim's resident tasks, bounded by this, executes the first, and
+	// keeps the rest in its own deque — so a burst of fine-grained spawns
+	// migrates with one victim interaction instead of one per task.
+	StealBatch int
 	// Seed drives steal-victim selection.
 	Seed uint64
 	// Persist compiles a persistence point into every capsule boundary: a
@@ -84,6 +90,9 @@ func (c *Config) fill() {
 		c.SegWords = min
 	}
 	c.SegWords = c.SegWords / c.BlockWords * c.BlockWords
+	if c.StealBatch <= 0 {
+		c.StealBatch = 8
+	}
 }
 
 // Task kinds. A user task runs a registered function; a pfor task expands a
@@ -163,6 +172,20 @@ func New(cfg Config) *Runtime {
 			dq:    newDeque(cfg.DequeCap),
 			rng:   rng.NewXoshiro256(sm.Next()),
 			war:   warcheck.New(cfg.WARCheck),
+		}
+	}
+	for p := 0; p < cfg.P; p++ {
+		w := rt.workers[p]
+		mine := rt.victimGroup(p)
+		for q := 0; q < cfg.P; q++ {
+			if q == p {
+				continue
+			}
+			if rt.victimGroup(q) == mine {
+				w.group = append(w.group, q)
+			} else {
+				w.others = append(w.others, q)
+			}
 		}
 	}
 	return rt
@@ -345,20 +368,31 @@ type Ctx struct {
 	war    *warcheck.Tracker
 	warLog []string
 
+	// Victim affinity (see victimGroup): in-group victims are tried first,
+	// everyone else only after localMissLimit consecutive local sweeps missed.
+	group     []int // victim ids sharing this worker's locality group
+	others    []int // victim ids in remote groups
+	localMiss int   // consecutive local sweeps that found nothing
+
 	// Counters are plain fields: each is touched only by the owning worker
 	// goroutine during a run and read by the harness after Wait.
 	reads, writes      int64
 	capsules           int64
 	steals, stealTries int64
+	batchTasks         int64
+	localHits          int64
+	remoteFalls        int64
+	parks              int64
 	persists           int64
 	taskWork           int64
 	maxTaskWork        int64
 }
 
 // schedLoop is the work-stealing scheduler: own deque first, then the
-// overflow queue, then random-victim stealing. Idle workers back off
-// quickly into escalating sleeps: on machines with fewer cores than P, a
-// spinning thief would steal cycles from the worker that has the work.
+// overflow queue, then locality-aware stealing (see trySteal). Idle workers
+// back off quickly into escalating sleeps: on machines with fewer cores than
+// P, a spinning thief would steal cycles from the worker that has the work.
+// The sleeps are counted as parks so SchedStats makes idle pressure visible.
 func (w *Ctx) schedLoop() {
 	backoff := 0
 	for !w.rt.done.Load() {
@@ -375,8 +409,10 @@ func (w *Ctx) schedLoop() {
 			case backoff < 32:
 				runtime.Gosched()
 			case backoff < 64:
+				w.parks++
 				time.Sleep(50 * time.Microsecond)
 			default:
+				w.parks++
 				time.Sleep(500 * time.Microsecond)
 			}
 			continue
@@ -386,21 +422,63 @@ func (w *Ctx) schedLoop() {
 	}
 }
 
+// localMissLimit is K, the number of consecutive empty in-group sweeps a
+// thief tolerates before widening its victim search to remote groups.
+// In-group victims share an allocator shard arm (or a contiguous worker
+// neighbourhood on one), so their deques hold work whose closures and spawn
+// buffers are already warm nearby; two clean local misses are strong
+// evidence the group is drained and the imbalance is cross-group.
+const localMissLimit = 2
+
+// trySteal is the locality-first victim search: sweep the worker's own
+// affinity group from a random start; only after localMissLimit consecutive
+// all-miss local sweeps fall back to a sweep over the remote groups. Each
+// successful grab takes up to half the victim's deque (stealHalf, bounded by
+// Config.StealBatch), executes the first task, and keeps the rest local.
 func (w *Ctx) trySteal() *task {
-	p := w.rt.cfg.P
-	if p == 1 {
+	if w.rt.cfg.P == 1 {
 		return nil
 	}
-	start := int(w.rng.Next() % uint64(p))
-	for i := 0; i < p; i++ {
-		v := (start + i) % p
-		if v == w.id {
-			continue
-		}
+	if t := w.sweep(w.group, true); t != nil {
+		w.localMiss = 0
+		return t
+	}
+	if len(w.others) == 0 {
+		return nil
+	}
+	w.localMiss++
+	if len(w.group) > 0 && w.localMiss < localMissLimit {
+		// Stay local for now; schedLoop's backoff keeps the retry cheap.
+		return nil
+	}
+	if t := w.sweep(w.others, false); t != nil {
+		w.localMiss = 0
+		return t
+	}
+	return nil
+}
+
+// sweep tries every victim in order starting at a random offset, returning
+// the first task of the first successful batch grab.
+func (w *Ctx) sweep(victims []int, local bool) *task {
+	n := len(victims)
+	if n == 0 {
+		return nil
+	}
+	start := int(w.rng.Next() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := victims[(start+i)%n]
 		w.stealTries++
-		if t := w.rt.workers[v].dq.popTop(); t != nil {
+		first, got := w.rt.workers[v].dq.stealHalf(w.dq, w.rt.cfg.StealBatch)
+		if first != nil {
 			w.steals++
-			return t
+			w.batchTasks += int64(got)
+			if local {
+				w.localHits++
+			} else {
+				w.remoteFalls++
+			}
+			return first
 		}
 	}
 	return nil

@@ -1,0 +1,349 @@
+package native
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/capsule"
+	"repro/internal/pmem"
+)
+
+// TestDequeStealHalf checks the batch-grab semantics on a quiet deque: half
+// of the resident tasks (rounded up, capped by max) move in one grab, the
+// first is returned for execution, the rest land in the thief's deque in
+// steal (FIFO) order, and the victim keeps the newer half.
+func TestDequeStealHalf(t *testing.T) {
+	d := newDeque(8)
+	dst := newDeque(8)
+	ts := make([]*task, 10)
+	for i := range ts {
+		ts[i] = &task{args: []uint64{uint64(i)}}
+		d.push(ts[i])
+	}
+	first, got := d.stealHalf(dst, 64)
+	if first != ts[0] || got != 5 {
+		t.Fatalf("stealHalf = (%v, %d), want task 0 and 5", first, got)
+	}
+	// The extras are the next-oldest tasks, pushed in age order.
+	if dst.size() != 4 {
+		t.Fatalf("thief deque holds %d tasks, want 4", dst.size())
+	}
+	for i := 1; i < 5; i++ {
+		if tk := dst.popTop(); tk != ts[i] {
+			t.Fatalf("thief slot = %v, want task %d", tk.args, i)
+		}
+	}
+	// The victim keeps tasks 5..9, still in LIFO order for its owner.
+	for i := 9; i >= 5; i-- {
+		if tk := d.popBottom(); tk != ts[i] {
+			t.Fatalf("victim popBottom = %v, want task %d", tk, i)
+		}
+	}
+	if d.popBottom() != nil {
+		t.Fatal("victim deque should be empty")
+	}
+
+	// The cap bounds the grab; an empty deque yields nothing.
+	for i := range ts {
+		d.push(ts[i])
+	}
+	if first, got := d.stealHalf(dst, 2); first != ts[0] || got != 2 {
+		t.Fatalf("capped stealHalf = (%v, %d), want task 0 and 2", first, got)
+	}
+	empty := newDeque(8)
+	if first, got := empty.stealHalf(dst, 8); first != nil || got != 0 {
+		t.Fatalf("stealHalf from empty deque = (%v, %d)", first, got)
+	}
+}
+
+// TestDequeStealHalfOwnerRace hammers batch thieves against an owner that
+// pushes and pops concurrently: every task must be delivered exactly once.
+// This is the regression test for the reason stealHalf claims entries with
+// per-entry CASes — a single CAS of top -> top+k would double-deliver
+// entries the owner plain-took while the claim was in flight.
+func TestDequeStealHalfOwnerRace(t *testing.T) {
+	const total = 200_000
+	d := newDeque(64)
+	var stolen atomic.Int64
+	var wg sync.WaitGroup
+	stop := atomic.Bool{}
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := newDeque(64)
+			for !stop.Load() {
+				first, got := d.stealHalf(mine, 8)
+				if first == nil {
+					continue
+				}
+				n := int64(1)
+				for mine.popBottom() != nil {
+					n++
+				}
+				if int(n) != got {
+					t.Errorf("batch reported %d tasks, drained %d", got, n)
+					return
+				}
+				stolen.Add(n)
+			}
+		}()
+	}
+	popped := 0
+	for i := 0; i < total; i++ {
+		d.push(&task{})
+		// Interleave owner pops so bottom chases the thieves' top claims.
+		if i%3 == 0 {
+			if tk := d.popBottom(); tk != nil {
+				popped++
+			}
+		}
+	}
+	for {
+		tk := d.popBottom()
+		if tk == nil && d.size() == 0 {
+			break
+		}
+		if tk != nil {
+			popped++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := stolen.Load() + int64(popped); got != total {
+		t.Fatalf("delivered %d of %d tasks", got, total)
+	}
+}
+
+// TestDequeGrowthUnderBatchTheft is the batch-stealing variant of
+// TestDequeGrowthUnderTheft: the ring grows while thieves grab half-deque
+// batches, and every task must be obtained by exactly one side even when a
+// thief resolves its claims against a superseded buffer. Run under -race
+// this also validates the publication protocol of the hoisted buffer load.
+func TestDequeGrowthUnderBatchTheft(t *testing.T) {
+	const total = 50_000
+	d := newDeque(8) // tiny initial ring: forces many growths mid-theft
+	var stolen atomic.Int64
+	var wg sync.WaitGroup
+	stop := atomic.Bool{}
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := newDeque(8)
+			for !stop.Load() {
+				if first, _ := d.stealHalf(mine, 16); first != nil {
+					n := int64(1)
+					for mine.popBottom() != nil {
+						n++
+					}
+					stolen.Add(n)
+				}
+			}
+		}()
+	}
+	popped := 0
+	for i := 0; i < total; i++ {
+		d.push(&task{})
+		if i%17 == 0 {
+			if tk := d.popBottom(); tk != nil {
+				popped++
+			}
+		}
+	}
+	for {
+		tk := d.popBottom()
+		if tk == nil && d.size() == 0 {
+			break
+		}
+		if tk != nil {
+			popped++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for tk := d.popTop(); tk != nil; tk = d.popTop() {
+		stolen.Add(1)
+	}
+	if got := stolen.Load() + int64(popped); got != total {
+		t.Fatalf("delivered %d of %d tasks", got, total)
+	}
+}
+
+// treeSum runs the canonical fork-join sum on rt and reports whether the
+// answer came out right — the shared workload of the scheduler tests below.
+func treeSum(t *testing.T, rt *Runtime, n, leaf int) {
+	t.Helper()
+	in := rt.HeapAllocBlocks(n)
+	out := rt.HeapAllocBlocks(1)
+	var want uint64
+	for i := 0; i < n; i++ {
+		rt.MemWrite(in+pmem.Addr(i), uint64(i%97+1))
+		want += uint64(i%97 + 1)
+	}
+	cmb := rt.Register("combine", func(c *Ctx) {
+		c.Write(pmem.Addr(c.Arg(2)), c.Read(pmem.Addr(c.Arg(0)))+c.Read(pmem.Addr(c.Arg(1))))
+		c.Done()
+	})
+	var sum capsule.FuncID
+	sum = rt.Register("sum", func(c *Ctx) {
+		lo, hi, dst := int(c.Arg(0)), int(c.Arg(1)), pmem.Addr(c.Arg(2))
+		if hi-lo <= leaf {
+			var acc uint64
+			c.ReadRange(in, lo, hi, func(_ int, v uint64) { acc += v })
+			c.Write(dst, acc)
+			c.Done()
+			return
+		}
+		mid := (lo + hi) / 2
+		s := c.Alloc(2)
+		c.Fork(
+			sum, []uint64{uint64(lo), uint64(mid), uint64(s)},
+			sum, []uint64{uint64(mid), uint64(hi), uint64(s + 1)},
+			cmb, []uint64{uint64(s), uint64(s + 1), uint64(dst)}, true)
+	})
+	if !rt.Run(sum, 0, uint64(n), uint64(out)) {
+		t.Fatal("run did not complete")
+	}
+	if got := rt.MemRead(out); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// rendezvous runs `rounds` sequential fork pairs on rt where the two sides
+// spin-wait on each other's flag word. The forking worker executes one side
+// and holds the other in its deque, so each round can only complete after a
+// thief steals the parked side — forcing at least `rounds` steals even when
+// GOMAXPROCS serializes the workers.
+func rendezvous(t *testing.T, rt *Runtime, rounds int) {
+	t.Helper()
+	flags := rt.HeapAllocBlocks(2 * rounds)
+	side := rt.Register("side", func(c *Ctx) {
+		mine, theirs := pmem.Addr(c.Arg(0)), pmem.Addr(c.Arg(1))
+		c.Write(mine, 1)
+		for c.Read(theirs) == 0 {
+			runtime.Gosched()
+		}
+		c.Done()
+	})
+	var pair capsule.FuncID
+	pair = rt.Register("pair", func(c *Ctx) {
+		r := int(c.Arg(0))
+		a := flags + pmem.Addr(2*r)
+		c.Fork(
+			side, []uint64{uint64(a), uint64(a + 1)},
+			side, []uint64{uint64(a + 1), uint64(a)},
+			0, nil, false)
+	})
+	fids := make([]capsule.FuncID, rounds)
+	argss := make([][]uint64, rounds)
+	for r := 0; r < rounds; r++ {
+		fids[r] = pair
+		argss[r] = []uint64{uint64(r)}
+	}
+	seq := rt.Register("seq", func(c *Ctx) { c.Seq(fids, argss) })
+	if !rt.Run(seq) {
+		t.Fatal("rendezvous run did not complete")
+	}
+	for r := 0; r < 2*rounds; r++ {
+		if rt.MemRead(flags+pmem.Addr(r)) != 1 {
+			t.Fatalf("flag %d not set", r)
+		}
+	}
+}
+
+// TestSchedStatsCounters checks the SchedStats invariants on a P=8 run whose
+// rendezvous structure forces real task migration: grabs imply probes, every
+// grab is classified exactly once as local or remote, and batch sizes count
+// at least one task per grab and at most the configured cap.
+func TestSchedStatsCounters(t *testing.T) {
+	const rounds = 16
+	rt := New(Config{P: 8, MemWords: 1 << 20, Seed: 7, StealBatch: 8})
+	rendezvous(t, rt, rounds)
+	s := rt.SchedStats()
+	if s.StealBatch != 8 {
+		t.Errorf("StealBatch = %d, want 8", s.StealBatch)
+	}
+	if s.Groups < 1 {
+		t.Errorf("Groups = %d, want >= 1", s.Groups)
+	}
+	if s.Steals < rounds {
+		t.Fatalf("expected at least %d steals, got %+v", rounds, s)
+	}
+	if s.StealTries < s.Steals {
+		t.Errorf("StealTries (%d) < Steals (%d)", s.StealTries, s.Steals)
+	}
+	if s.BatchTasks < s.Steals || s.BatchTasks > s.Steals*int64(s.StealBatch) {
+		t.Errorf("BatchTasks (%d) outside [Steals, Steals*StealBatch] = [%d, %d]",
+			s.BatchTasks, s.Steals, s.Steals*int64(s.StealBatch))
+	}
+	if s.LocalHits+s.RemoteFalls != s.Steals {
+		t.Errorf("LocalHits (%d) + RemoteFalls (%d) != Steals (%d)",
+			s.LocalHits, s.RemoteFalls, s.Steals)
+	}
+	// The summary's steal counters stay consistent with the sched view.
+	sum := rt.Stats()
+	if sum.Steals != s.Steals || sum.StealTries != s.StealTries {
+		t.Errorf("Stats steals (%d/%d) disagree with SchedStats (%d/%d)",
+			sum.Steals, sum.StealTries, s.Steals, s.StealTries)
+	}
+}
+
+// TestStealBatchSweep runs the same workload across batch caps, including
+// the single-task-steal configuration, and checks correctness each time.
+func TestStealBatchSweep(t *testing.T) {
+	for _, batch := range []int{1, 2, 8, 64} {
+		rt := New(Config{P: 6, MemWords: 1 << 19, Seed: 11, StealBatch: batch})
+		treeSum(t, rt, 1<<13, 8)
+		if s := rt.SchedStats(); s.StealBatch != batch {
+			t.Fatalf("StealBatch = %d, want %d", s.StealBatch, batch)
+		}
+	}
+}
+
+// TestOversubscribedScheduler runs more workers than GOMAXPROCS allows to
+// execute in parallel: thieves must park instead of live-locking the workers
+// that hold the work, and the computation must still complete correctly —
+// both on a plain tree sum and on a rendezvous workload whose progress
+// depends on parked thieves waking up to steal.
+func TestOversubscribedScheduler(t *testing.T) {
+	p := 3*runtime.GOMAXPROCS(0) + 1
+	rt := New(Config{P: p, MemWords: 1 << 20, Seed: 5})
+	treeSum(t, rt, 1<<14, 16)
+	rt = New(Config{P: p, MemWords: 1 << 20, Seed: 6})
+	rendezvous(t, rt, 8)
+	if s := rt.SchedStats(); s.Steals < 8 {
+		t.Errorf("expected >=8 steals with P=%d oversubscribed, got %+v", p, s)
+	}
+}
+
+// TestVictimGroups pins the grouping rule: shared allocator arms group by
+// shard when Shards < P, private arms group contiguous neighbourhoods.
+func TestVictimGroups(t *testing.T) {
+	rt := New(Config{P: 8, MemWords: 1 << 16, Shards: 2})
+	if g0, g2 := rt.victimGroup(0), rt.victimGroup(2); g0 != g2 {
+		t.Errorf("shard-affine: workers 0 and 2 share arm 0 but groups differ (%d vs %d)", g0, g2)
+	}
+	if g0, g1 := rt.victimGroup(0), rt.victimGroup(1); g0 == g1 {
+		t.Errorf("shard-affine: workers 0 and 1 use different arms but share group %d", g0)
+	}
+	if n := rt.numGroups(); n != 2 {
+		t.Errorf("numGroups = %d, want 2", n)
+	}
+	rt = New(Config{P: 8, MemWords: 1 << 16, Shards: 8})
+	if g0, g3 := rt.victimGroup(0), rt.victimGroup(3); g0 != g3 {
+		t.Errorf("contiguous: workers 0 and 3 should share a group (%d vs %d)", g0, g3)
+	}
+	if g3, g4 := rt.victimGroup(3), rt.victimGroup(4); g3 == g4 {
+		t.Errorf("contiguous: workers 3 and 4 should split groups, both got %d", g3)
+	}
+	if n := rt.numGroups(); n != 2 {
+		t.Errorf("numGroups = %d, want 2", n)
+	}
+	w := rt.workers[0]
+	if len(w.group) != 3 || len(w.others) != 4 {
+		t.Errorf("worker 0 victim lists = %d local / %d remote, want 3/4", len(w.group), len(w.others))
+	}
+}

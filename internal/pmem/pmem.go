@@ -135,6 +135,22 @@ func (m *Mem) WriteBlock(a Addr, src []uint64) Addr {
 	return base
 }
 
+// Zero clears words [from, from+n) with plain atomic stores, bypassing the
+// watcher. This is allocator bookkeeping, not a machine instruction: the
+// model hands out zeroed pool memory for free, so recycling a closure-pool
+// region restores the fresh-memory-is-zero invariant without charging
+// transfers or waking instrumentation.
+func (m *Mem) Zero(from Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	m.check(from)
+	m.check(from + Addr(n) - 1)
+	for i := Addr(0); i < Addr(n); i++ {
+		m.words[from+i].Store(0)
+	}
+}
+
 // Snapshot copies words [from, from+n) into a fresh slice. Test/harness
 // helper; does not model a machine instruction.
 func (m *Mem) Snapshot(from Addr, n int) []uint64 {

@@ -56,6 +56,7 @@ type engine interface {
 	memWrite(a Addr, v uint64)
 	engineStats() Stats
 	allocStats() AllocStats // zero-valued on engines without sharded allocation
+	schedStats() SchedStats // zero-valued on engines without a native scheduler
 	procs() int
 	blockWords() int
 	warViolations() []string
@@ -142,6 +143,7 @@ func (m *modelEngine) memRead(a Addr) uint64      { return m.rt.Machine.Mem.Read
 func (m *modelEngine) memWrite(a Addr, v uint64)  { m.rt.Machine.Mem.Write(a, v) }
 func (m *modelEngine) engineStats() Stats         { return m.rt.Stats() }
 func (m *modelEngine) allocStats() AllocStats     { return AllocStats{} }
+func (m *modelEngine) schedStats() SchedStats     { return SchedStats{} }
 func (m *modelEngine) procs() int                 { return m.rt.Machine.P() }
 func (m *modelEngine) blockWords() int            { return m.rt.Machine.BlockWords() }
 func (m *modelEngine) warViolations() []string    { return m.rt.Machine.WARViolations() }
@@ -224,6 +226,11 @@ func (m *modelCtx) Then(fid capsule.FuncID, args []uint64) {
 	m.e.Install(m.e.NewClosure(fid, m.e.Cont(), args...))
 }
 
+// Seq builds the step chain and installs it behind an epoch-advance capsule:
+// each Seq is a sequential phase boundary, which lets the machine recycle
+// closure-pool generations whose contents the finished phases have orphaned
+// (see machine.PoolGens). Programs that never Seq never advance the epoch
+// and see the pools' classic run-long bump allocation.
 func (m *modelCtx) Seq(fids []capsule.FuncID, argss [][]uint64) {
 	if len(fids) == 0 {
 		m.Done()
@@ -233,7 +240,7 @@ func (m *modelCtx) Seq(fids []capsule.FuncID, argss [][]uint64) {
 	for i := len(fids) - 1; i >= 1; i-- {
 		cont = m.e.NewClosure(fids[i], cont, argss[i]...)
 	}
-	m.e.Install(m.e.NewClosure(fids[0], cont, argss[0]...))
+	m.fj.InstallWithEpoch(m.e, m.e.NewClosure(fids[0], cont, argss[0]...))
 }
 
 func (m *modelCtx) Fork(lf capsule.FuncID, la []uint64, rf capsule.FuncID, ra []uint64,

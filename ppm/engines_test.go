@@ -170,6 +170,51 @@ func TestNativePersist(t *testing.T) {
 	}
 }
 
+// TestSchedStatsSeam checks the scheduler-stats engine seam: the native
+// engine reports its steal-batch cap and affinity geometry (sweeping
+// WithNativeStealBatch down to single-task stealing) with internally
+// consistent counters, while the model engine is all zeros — its scheduler
+// cost is part of the simulated accounting, not a native tunable.
+func TestSchedStatsSeam(t *testing.T) {
+	for _, batch := range []int{0, 1, 4, 32} {
+		opts := []ppm.Option{ppm.WithEngine(ppm.EngineNative), ppm.WithProcs(4), ppm.WithSeed(9)}
+		want := batch
+		if batch > 0 {
+			opts = append(opts, ppm.WithNativeStealBatch(batch))
+		} else {
+			want = 8 // the native default
+		}
+		rt := ppm.New(opts...)
+		algo, _ := ppm.NewByName("mergesort", "sched", 1<<11, 4)
+		algo.Build(rt)
+		if !algo.Run() {
+			t.Fatal("did not complete")
+		}
+		if err := algo.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		s := rt.SchedStats()
+		if s.StealBatch != want {
+			t.Errorf("batch option %d: StealBatch = %d, want %d", batch, s.StealBatch, want)
+		}
+		if s.Groups < 1 {
+			t.Errorf("batch option %d: Groups = %d, want >= 1", batch, s.Groups)
+		}
+		if s.LocalHits+s.RemoteFalls != s.Steals || s.StealTries < s.Steals || s.BatchTasks < s.Steals {
+			t.Errorf("batch option %d: inconsistent counters %+v", batch, s)
+		}
+	}
+	rt := ppm.New(ppm.WithProcs(4), ppm.WithSeed(9))
+	algo, _ := ppm.NewByName("mergesort", "schedmodel", 1<<10, 4)
+	algo.Build(rt)
+	if !algo.Run() {
+		t.Fatal("did not complete")
+	}
+	if s := rt.SchedStats(); s != (ppm.SchedStats{}) {
+		t.Errorf("model engine SchedStats = %+v, want zero value", s)
+	}
+}
+
 // TestParseEngine checks flag-value parsing.
 func TestParseEngine(t *testing.T) {
 	for _, ok := range []string{"model", "native"} {

@@ -11,6 +11,13 @@ import (
 // part of the model's cost semantics.
 type AllocStats = native.AllocStats
 
+// SchedStats reports how the native engine's locality-first work-stealing
+// scheduler behaved in a run: the steal-batch cap and affinity-group
+// geometry plus steal traffic (probes, grabs, batch sizes, local vs remote
+// hits, idle parks; see WithNativeStealBatch). Zero-valued on the model
+// engine, whose scheduler cost is part of the model's accounting.
+type SchedStats = native.SchedStats
+
 // nativeEngine runs programs on the goroutine work-stealing backend.
 // internal/native.Ctx structurally implements capCtx, so the bridge is a
 // thin translation of configuration and function IDs.
@@ -34,6 +41,7 @@ func newNativeEngine(c config) *nativeEngine {
 		BlockWords: c.blockWords,
 		DequeCap:   c.dequeEntries,
 		Shards:     c.nativeShards, // 0 = the native default (GOMAXPROCS or P)
+		StealBatch: c.nativeStealBatch,
 		Seed:       c.seed,
 		Persist:    c.nativePersist,
 		WARCheck:   c.nativeWARCheck,
@@ -62,6 +70,7 @@ func (n *nativeEngine) memRead(a Addr) uint64       { return n.rt.MemRead(a) }
 func (n *nativeEngine) memWrite(a Addr, v uint64)   { n.rt.MemWrite(a, v) }
 func (n *nativeEngine) engineStats() Stats          { return n.rt.Stats() }
 func (n *nativeEngine) allocStats() AllocStats      { return n.rt.AllocStats() }
+func (n *nativeEngine) schedStats() SchedStats      { return n.rt.SchedStats() }
 func (n *nativeEngine) procs() int                  { return n.rt.P() }
 func (n *nativeEngine) blockWords() int             { return n.rt.BlockWords() }
 func (n *nativeEngine) warViolations() []string     { return n.rt.WARViolations() }

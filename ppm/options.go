@@ -14,21 +14,22 @@ type scriptedFault struct {
 }
 
 type config struct {
-	engine         Engine
-	procs          int
-	blockWords     int
-	ephWords       int
-	memWords       int
-	poolWords      int
-	dequeEntries   int
-	faultRate      float64
-	seed           uint64
-	warCheck       bool
-	nativeWARCheck bool
-	nativePersist  bool
-	nativeShards   int
-	hardAt         map[int]int64
-	scripted       []scriptedFault
+	engine           Engine
+	procs            int
+	blockWords       int
+	ephWords         int
+	memWords         int
+	poolWords        int
+	dequeEntries     int
+	faultRate        float64
+	seed             uint64
+	warCheck         bool
+	nativeWARCheck   bool
+	nativePersist    bool
+	nativeShards     int
+	nativeStealBatch int
+	hardAt           map[int]int64
+	scripted         []scriptedFault
 }
 
 func defaultConfig() config {
@@ -64,6 +65,18 @@ func WithNativePersist() Option { return func(c *config) { c.nativePersist = tru
 // Ignored by the model engine, whose single-heap cost semantics are part of
 // the model's faithfulness.
 func WithNativeShards(n int) Option { return func(c *config) { c.nativeShards = n } }
+
+// WithNativeStealBatch caps how many tasks one steal moves from a victim's
+// deque on the native engine (default 8; 1 restores classic single-task
+// Chase-Lev stealing). A thief grabs up to half the victim's resident tasks,
+// bounded by this cap, executes the first, and keeps the rest in its own
+// deque — so a burst of fine-grained spawns migrates with one victim
+// interaction instead of one cross-worker steal per task. Larger batches cut
+// steal traffic on fine-grained workloads (graph rounds); smaller ones
+// spread work faster when tasks are few and heavy. Runtime.SchedStats
+// reports the realized batch sizes and steal traffic. Ignored by the model
+// engine, whose scheduler is part of the simulated cost semantics.
+func WithNativeStealBatch(n int) Option { return func(c *config) { c.nativeStealBatch = n } }
 
 // WithProcs sets the number of virtual processors P (default 1).
 func WithProcs(p int) Option { return func(c *config) { c.procs = p } }

@@ -130,6 +130,12 @@ func (r *Runtime) Stats() Stats { return r.eng.engineStats() }
 // on the model engine.
 func (r *Runtime) AllocStats() AllocStats { return r.eng.allocStats() }
 
+// SchedStats reports the native engine's work-stealing scheduler counters
+// (steal-batch cap, affinity groups, probes, grabs, batch sizes, local vs
+// remote hits, idle parks; see WithNativeStealBatch). Zero-valued on the
+// model engine.
+func (r *Runtime) SchedStats() SchedStats { return r.eng.schedStats() }
+
 // WARViolations returns the write-after-read conflicts detected so far.
 // Empty unless WithWARCheck was given (model engine only).
 func (r *Runtime) WARViolations() []string { return r.eng.warViolations() }

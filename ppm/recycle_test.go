@@ -1,0 +1,156 @@
+package ppm_test
+
+import (
+	"testing"
+
+	"repro/ppm"
+)
+
+// recycleDriver registers an R-round Seq driver on rt: round r runs a small
+// parallel-for stamping r+1 into every slot of marks (idempotent under
+// capsule replay), then Seqs into round r+1 — the same chain shape as the
+// graph drivers, one epoch advance per round. Returns the root and the
+// marks array; after a complete run every slot holds rounds.
+func recycleDriver(rt *ppm.Runtime, n, rounds, grain int) (ppm.FuncRef, ppm.Array) {
+	marks := rt.NewArray(n)
+	leaf := rt.Register("recycle/leaf", func(c ppm.Ctx) {
+		lo, hi, stamp := c.Int(0), c.Int(1), c.Uint(2)
+		for i := lo; i < hi; i++ {
+			marks.Set(c, i, stamp)
+		}
+		c.Done()
+	})
+	work := rt.Register("recycle/work", func(c ppm.Ctx) {
+		r := c.Int(0)
+		c.ParallelFor(leaf, 0, n, grain, uint64(r+1))
+	})
+	var round ppm.FuncRef
+	round = rt.Register("recycle/round", func(c ppm.Ctx) {
+		r := c.Int(0)
+		if r == rounds {
+			c.Done()
+			return
+		}
+		c.Seq(work.Call(c.Uint(0)), round.Call(r+1))
+	})
+	root := rt.Register("recycle/root", func(c ppm.Ctx) {
+		c.Seq(round.Call(0))
+	})
+	return root, marks
+}
+
+// TestPoolRecycling runs a round-structured Seq driver against a closure
+// pool far too small to hold the whole run's closures: completion requires
+// the generation recycling to reclaim each round's dead chains. The pool
+// budget is checked against the run's capsule count, the epoch word must
+// have advanced once per Seq, and every slot must hold the final round's
+// stamp.
+func TestPoolRecycling(t *testing.T) {
+	const (
+		n, rounds, grain = 64, 120, 8
+		poolWords        = 1 << 14
+	)
+	rt := ppm.New(ppm.WithProcs(2), ppm.WithSeed(17), ppm.WithPoolWords(poolWords))
+	root, marks := recycleDriver(rt, n, rounds, grain)
+	if !rt.Run(root) {
+		t.Fatal("did not complete")
+	}
+	for i, v := range marks.Snapshot() {
+		if v != rounds {
+			t.Fatalf("marks[%d] = %d, want %d", i, v, rounds)
+		}
+	}
+	// The epoch advanced once per Seq: the root's, plus one per round body
+	// with a Seq (rounds of them) — so at least `rounds`.
+	epoch := rt.Machine().Mem.Read(rt.Machine().EpochAddr())
+	if epoch < rounds {
+		t.Errorf("epoch = %d, want >= %d", epoch, rounds)
+	}
+	// Sanity: the run really was too big for a bump-only pool. Closure
+	// traffic alone (one closure, at least HdrWords+0 = 3 words, per capsule)
+	// exceeds both pools put together, so without recycling the run would
+	// have panicked with "closure pool ... exhausted".
+	if caps := rt.Stats().Capsules; caps*3 < 2*poolWords {
+		t.Fatalf("workload too small to prove recycling: %d capsules vs %d pool words",
+			caps, 2*poolWords)
+	}
+}
+
+// TestPoolRecyclingUnderFaults reruns the recycling workload under an IID
+// soft-fault rate plus one scheduled hard fault: replayed capsules
+// re-allocate below the claim frontier and rewrite identically, and the
+// takeover path inherits the dead processor's cursor into the same
+// circular claim schedule.
+func TestPoolRecyclingUnderFaults(t *testing.T) {
+	const n, rounds, grain = 64, 60, 8
+	rt := ppm.New(ppm.WithProcs(2), ppm.WithSeed(23),
+		ppm.WithPoolWords(1<<14),
+		ppm.WithFaultRate(0.002),
+		ppm.WithHardFault(1, 4000))
+	root, marks := recycleDriver(rt, n, rounds, grain)
+	if !rt.Run(root) {
+		t.Fatal("did not complete")
+	}
+	for i, v := range marks.Snapshot() {
+		if v != rounds {
+			t.Fatalf("marks[%d] = %d, want %d", i, v, rounds)
+		}
+	}
+}
+
+// TestSingleSeqPhaseUsesWholePool pins the phase-heavy shape (samplesort's:
+// one root Seq, then fork-join phases far bigger than one pool region): the
+// circular pool must let a single epoch's allocations run through region
+// boundaries and use the whole pool, not just one region.
+func TestSingleSeqPhaseUsesWholePool(t *testing.T) {
+	const n, poolWords = 96, 1 << 14
+	rt := ppm.New(ppm.WithProcs(2), ppm.WithSeed(9), ppm.WithPoolWords(poolWords))
+	out := rt.NewArray(n)
+	leaf := rt.Register("phase/leaf", func(c ppm.Ctx) {
+		lo, hi := c.Int(0), c.Int(1)
+		for i := lo; i < hi; i++ {
+			out.Set(c, i, uint64(i)*3)
+		}
+		c.Done()
+	})
+	work := rt.Register("phase/work", func(c ppm.Ctx) {
+		// grain 1 maximizes fork tree size: the phase's closures and join
+		// cells far exceed one region (a quarter of the pool).
+		c.ParallelFor(leaf, 0, n, 1)
+	})
+	root := rt.Register("phase/root", func(c ppm.Ctx) {
+		c.Seq(work.Call())
+	})
+	if !rt.Run(root) {
+		t.Fatal("did not complete")
+	}
+	for i, v := range out.Snapshot() {
+		if v != uint64(i)*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if epoch := rt.Machine().Mem.Read(rt.Machine().EpochAddr()); epoch < 1 {
+		t.Errorf("epoch = %d, want >= 1 (the root Seq advanced it)", epoch)
+	}
+}
+
+// TestEpochInertWithoutSeq pins the compatibility contract: a program that
+// never Seqs never advances the epoch, so the pool keeps its classic
+// run-long bump allocation and recycling stays inert.
+func TestEpochInertWithoutSeq(t *testing.T) {
+	rt := ppm.New(ppm.WithProcs(2), ppm.WithSeed(3))
+	algo, ok := ppm.NewByName("mergesort", "inert", 1<<10, 4)
+	if !ok {
+		t.Fatal("mergesort missing from catalog")
+	}
+	algo.Build(rt)
+	if !algo.Run() {
+		t.Fatal("did not complete")
+	}
+	if err := algo.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if epoch := rt.Machine().Mem.Read(rt.Machine().EpochAddr()); epoch != 0 {
+		t.Errorf("epoch = %d after a Seq-free run, want 0", epoch)
+	}
+}
