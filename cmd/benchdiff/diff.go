@@ -34,6 +34,14 @@ type Row struct {
 	// CheckSched: the configured steal-batch ceiling and the probe counter.
 	StealBatch int   `json:"steal_batch"`
 	StealTries int64 `json:"steal_tries"`
+	// Serving metrics (ppmload rows, exp == "serve"), checked by
+	// CheckServe: sustained throughput, tail latency, batch coalescing, and
+	// the failure count of the load run.
+	QPS      float64 `json:"qps"`
+	P99MS    float64 `json:"p99_ms"`
+	Coalesce float64 `json:"coalesce"`
+	Queries  int64   `json:"queries"`
+	Failed   int64   `json:"failed"`
 }
 
 // key identifies a row across runs: same experiment, workload, engine, and
@@ -215,6 +223,9 @@ func CheckSched(rows []Row) []Finding {
 	var out []Finding
 	nativeRows, tries := 0, int64(0)
 	for _, r := range rows {
+		if r.Exp == "serve" {
+			continue // ppmload rows run over HTTP; no per-run scheduler stats
+		}
 		switch r.Engine {
 		case "native":
 			nativeRows++
@@ -237,6 +248,58 @@ func CheckSched(rows []Row) []Finding {
 	}
 	out = append(out, Finding{"sched",
 		fmt.Sprintf("%d native rows, %d steal tries total", nativeRows, tries), false})
+	return out
+}
+
+// ServeGate anchors the serving benchmark: a run must sustain the QPS
+// floor, keep p99 under the ceiling, coalesce at least the floor's worth of
+// queries per run, and fail nothing. Zero-valued fields skip that check.
+type ServeGate struct {
+	QPSFloor      float64
+	P99CeilingMS  float64
+	CoalesceFloor float64
+}
+
+// Enabled reports whether any serve anchor was requested.
+func (g ServeGate) Enabled() bool {
+	return g.QPSFloor > 0 || g.P99CeilingMS > 0 || g.CoalesceFloor > 0
+}
+
+// CheckServe verifies every serve row in the current run against the gate.
+// No serve rows at all is fatal — a requested serve anchor that checked
+// nothing is a broken anchor, same rule as CheckAnchors.
+func CheckServe(rows []Row, gate ServeGate) []Finding {
+	var out []Finding
+	checked := 0
+	for _, r := range rows {
+		if r.Exp != "serve" {
+			continue
+		}
+		checked++
+		if !r.Verified || r.Failed > 0 {
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("load run not clean (verified=%v, %d failed queries)", r.Verified, r.Failed), true})
+			continue
+		}
+		if gate.QPSFloor > 0 && r.QPS < gate.QPSFloor {
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("sustained %.0f QPS below the %.0f floor", r.QPS, gate.QPSFloor), true})
+		}
+		if gate.P99CeilingMS > 0 && r.P99MS > gate.P99CeilingMS {
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("p99 %.2fms above the %.0fms ceiling", r.P99MS, gate.P99CeilingMS), true})
+		}
+		if gate.CoalesceFloor > 0 && r.Coalesce < gate.CoalesceFloor {
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("coalesce ratio %.2fx below the %.1fx floor", r.Coalesce, gate.CoalesceFloor), true})
+		}
+		out = append(out, Finding{r.key(),
+			fmt.Sprintf("%.0f QPS, p99 %.2fms, coalesce %.2fx, %d queries",
+				r.QPS, r.P99MS, r.Coalesce, r.Queries), false})
+	}
+	if checked == 0 {
+		out = append(out, Finding{"serve", "no serve rows to anchor against", true})
+	}
 	return out
 }
 

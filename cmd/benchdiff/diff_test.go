@@ -225,3 +225,61 @@ func TestAnchorFlagParsing(t *testing.T) {
 		}
 	}
 }
+
+func serveRow(qps, p99, coalesce float64, failed int64) Row {
+	return Row{Exp: "serve", Workload: "mixed", Engine: "native", N: 100_000, P: 8,
+		WallMS: 10_000, Verified: failed == 0,
+		QPS: qps, P99MS: p99, Coalesce: coalesce, Queries: 5000, Failed: failed}
+}
+
+func TestCheckServePasses(t *testing.T) {
+	gate := ServeGate{QPSFloor: 500, P99CeilingMS: 250, CoalesceFloor: 2}
+	fs := fatals(CheckServe([]Row{serveRow(900, 40, 3, 0)}, gate))
+	if len(fs) != 0 {
+		t.Fatalf("clean serve row must pass, got %v", fs)
+	}
+}
+
+func TestCheckServeGates(t *testing.T) {
+	gate := ServeGate{QPSFloor: 500, P99CeilingMS: 250, CoalesceFloor: 2}
+	cases := []struct {
+		row  Row
+		want string
+	}{
+		{serveRow(300, 40, 3, 0), "QPS below"},
+		{serveRow(900, 400, 3, 0), "above the"},
+		{serveRow(900, 40, 1.2, 0), "coalesce ratio"},
+		{serveRow(900, 40, 3, 2), "not clean"},
+	}
+	for _, c := range cases {
+		fs := fatals(CheckServe([]Row{c.row}, gate))
+		if len(fs) != 1 || !strings.Contains(fs[0].Detail, c.want) {
+			t.Fatalf("row %+v: want one fatal containing %q, got %v", c.row, c.want, fs)
+		}
+	}
+}
+
+func TestCheckServeNoRows(t *testing.T) {
+	fs := fatals(CheckServe([]Row{schedRow("native", 8, 1)}, ServeGate{QPSFloor: 1}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "no serve rows") {
+		t.Fatalf("a serve anchor with nothing to check must fail, got %v", fs)
+	}
+}
+
+func TestCheckServeZeroFieldsSkip(t *testing.T) {
+	// Only the QPS floor requested: a high p99 and low coalesce must pass.
+	fs := fatals(CheckServe([]Row{serveRow(900, 9999, 0.5, 0)}, ServeGate{QPSFloor: 500}))
+	if len(fs) != 0 {
+		t.Fatalf("unrequested gates must not fire, got %v", fs)
+	}
+	if (ServeGate{}).Enabled() {
+		t.Fatal("zero gate reports enabled")
+	}
+}
+
+func TestCheckSchedIgnoresServeRows(t *testing.T) {
+	fs := fatals(CheckSched([]Row{serveRow(900, 40, 3, 0), schedRow("native", 8, 1)}))
+	if len(fs) != 0 {
+		t.Fatalf("serve rows must not trip the sched gate, got %v", fs)
+	}
+}

@@ -14,7 +14,11 @@ func main() {
 	anchors := anchorFlags{}
 	flag.Var(anchors, "anchor", "workload=minRatio: require model/native speedup >= minRatio in -new (repeatable; skips -old diffing)")
 	requireSched := flag.Bool("require-sched", false, "require native rows in -new to carry scheduler stats (steal_batch > 0)")
+	serveQPS := flag.Float64("serve-qps-floor", 0, "require serve rows in -new to sustain at least this QPS")
+	serveP99 := flag.Float64("serve-p99-ceiling", 0, "require serve rows in -new to keep p99 under this many ms")
+	serveCoalesce := flag.Float64("serve-coalesce-floor", 0, "require serve rows in -new to coalesce at least this many queries per run")
 	flag.Parse()
+	serveGate := ServeGate{QPSFloor: *serveQPS, P99CeilingMS: *serveP99, CoalesceFloor: *serveCoalesce}
 
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -37,11 +41,15 @@ func main() {
 	if *requireSched {
 		findings = append(findings, CheckSched(cur)...)
 	}
+	if serveGate.Enabled() {
+		findings = append(findings, CheckServe(cur, serveGate)...)
+	}
 	switch {
 	case len(anchors) > 0:
 		findings = append(findings, CheckAnchors(cur, anchors)...)
-	case *requireSched && *oldPath == "":
-		// -require-sched alone is a complete check; no diffing requested.
+	case (*requireSched || serveGate.Enabled()) && *oldPath == "":
+		// -require-sched / serve anchors alone are complete checks; no
+		// diffing requested.
 	default:
 		if *oldPath == "" {
 			fmt.Fprintln(os.Stderr, "benchdiff: need -old (row diff), -anchor (speedup check), or -require-sched")

@@ -58,9 +58,24 @@ func runCat(eng ppm.Engine) {
 		// multi-hundred-MB memory image) so GC pauses and page reclaim do
 		// not bleed into the next measurement.
 		runtime.GC()
-		start := time.Now()
-		ok := algo.Run()
-		wall := time.Since(start)
+		reps := benchReps
+		if reps < 1 {
+			reps = 1
+		}
+		// Repetitions reuse this runtime — no rebuild, no restage: the
+		// native workers re-arm from their parked state and the model
+		// machine resets its closure pools between runs. The fastest rep is
+		// the recorded wall time (construction noise and first-touch paging
+		// land on rep 1 and only rep 1).
+		ok := true
+		var wall time.Duration
+		for rep := 0; rep < reps && ok; rep++ {
+			start := time.Now()
+			ok = algo.Run()
+			if w := time.Since(start); rep == 0 || w < wall {
+				wall = w
+			}
+		}
 		verified := ok
 		result := "ok"
 		if !ok {

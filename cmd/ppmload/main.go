@@ -1,0 +1,299 @@
+// ppmload drives a live ppmserve with sustained mixed load and records what
+// the service actually delivered: QPS, latency percentiles, how well the
+// query batcher coalesced, and how much the admission controller shed.
+//
+//	go run ./cmd/ppmload -url http://127.0.0.1:8080 \
+//	    -n 100000 -m 200000 -workers 16 -duration 10s -json BENCH_serve.json
+//
+// The run has two phases. The warmup phase fires the BFS source pool in
+// concurrent waves (provoking multi-source batching on cold sources) plus
+// one connectivity and one PageRank query, so the measured phase starts
+// against a resident, warmed graph — the serving steady state. The measured
+// phase then runs the configured worker count for the configured duration,
+// each worker drawing kinds from the mix and sources from the pool.
+//
+// Latency percentiles and QPS come from the measured phase only; batching
+// and shed counters come from the server's /statsz (cumulative, so the
+// warmup's cold-source coalescing is part of the record — that burst is
+// exactly the "concurrent same-graph load" the batcher exists for).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/ppm/serve"
+)
+
+// row is the BENCH_serve.json record, shaped to diff and gate through
+// cmd/benchdiff alongside the ppmbench rows (shared key fields, serve
+// metrics in the extension fields).
+type row struct {
+	Exp      string  `json:"exp"` // always "serve"
+	Workload string  `json:"workload"`
+	Engine   string  `json:"engine"` // always "native"
+	N        int     `json:"n"`
+	P        int     `json:"p"`
+	WallMS   float64 `json:"wall_ms"` // measured-phase duration
+	Verified bool    `json:"verified"`
+
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	Coalesce float64 `json:"coalesce"`
+	Queries  int64   `json:"queries"`
+	Shed429  int64   `json:"shed_429"`
+	Shed503  int64   `json:"shed_503"`
+	Failed   int64   `json:"failed"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "ppmserve base URL")
+		kind     = flag.String("graph-kind", "rand", "graph generator kind")
+		n        = flag.Int("n", 100_000, "graph vertices")
+		m        = flag.Int("m", 200_000, "graph edges")
+		seed     = flag.Uint64("seed", 42, "graph seed")
+		procs    = flag.Int("p", 8, "server procs, recorded in the bench row")
+		workers  = flag.Int("workers", 16, "concurrent load workers")
+		duration = flag.Duration("duration", 10*time.Second, "measured-phase length")
+		sources  = flag.Int("sources", 32, "distinct BFS source pool size")
+		mix      = flag.String("mix", "bfs=80,cc=10,pagerank=10", "query kind mix (percent)")
+		deadline = flag.Int64("deadline-ms", 1000, "per-query deadline")
+		jsonOut  = flag.String("json", "", "write the bench row array here")
+		maxFail  = flag.Int64("max-failed", -1, "exit nonzero past this many failed queries (-1 = no gate)")
+		workload = flag.String("workload", "mixed", "workload label in the bench row")
+	)
+	flag.Parse()
+
+	mixKinds, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	spec := serve.GraphSpec{Kind: *kind, N: *n, M: *m, Seed: *seed}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if err := waitHealthy(client, *url, 30*time.Second); err != nil {
+		fatal(err)
+	}
+
+	// Warmup: cold BFS sources in concurrent waves of the worker width, so
+	// the batcher sees genuinely concurrent same-graph load, then the two
+	// memoized kinds.
+	fmt.Printf("ppmload: warming %s on %s (%d sources, %d workers)\n",
+		spec.Key(), *url, *sources, *workers)
+	for lo := 0; lo < *sources; lo += *workers {
+		hi := lo + *workers
+		if hi > *sources {
+			hi = *sources
+		}
+		var wg sync.WaitGroup
+		for s := lo; s < hi; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				q := serve.Query{Graph: spec, Kind: "bfs",
+					Source: sourceAt(s, *n, *sources), DeadlineMS: 60_000}
+				fire(client, *url, q)
+			}(s)
+		}
+		wg.Wait()
+	}
+	for _, k := range []string{"cc", "pagerank"} {
+		if code, _ := fire(client, *url, serve.Query{Graph: spec, Kind: k, DeadlineMS: 60_000}); code != http.StatusOK {
+			fatal(fmt.Errorf("warmup %s query answered %d", k, code))
+		}
+	}
+
+	// Measured phase.
+	fmt.Printf("ppmload: measuring for %s\n", *duration)
+	type tally struct {
+		lat            []time.Duration
+		ok, s429, s503 int64
+		failed         int64
+	}
+	tallies := make([]tally, *workers)
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := &tallies[w]
+			x := rng.NewXoshiro256(*seed + uint64(w)*7919)
+			for time.Now().Before(stop) {
+				q := serve.Query{Graph: spec, DeadlineMS: *deadline}
+				q.Kind = mixKinds[x.Next()%uint64(len(mixKinds))]
+				if q.Kind == "bfs" {
+					q.Source = sourceAt(int(x.Next()%uint64(*sources)), *n, *sources)
+				}
+				t0 := time.Now()
+				code, err := fire(client, *url, q)
+				el := time.Since(t0)
+				switch {
+				case err != nil:
+					t.failed++
+				case code == http.StatusOK:
+					t.ok++
+					t.lat = append(t.lat, el)
+				case code == http.StatusTooManyRequests:
+					t.s429++
+				case code == http.StatusServiceUnavailable:
+					t.s503++
+				default:
+					t.failed++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	var ok, s429, s503, failed int64
+	for i := range tallies {
+		t := &tallies[i]
+		all = append(all, t.lat...)
+		ok += t.ok
+		s429 += t.s429
+		s503 += t.s503
+		failed += t.failed
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	st, err := fetchStats(client, *url)
+	if err != nil {
+		fatal(err)
+	}
+	r := row{
+		Exp: "serve", Workload: *workload, Engine: "native",
+		N: *n, P: *procs,
+		WallMS:   float64(duration.Milliseconds()),
+		Verified: ok > 0 && failed == 0,
+		QPS:      float64(ok) / duration.Seconds(),
+		P50MS:    pctMS(all, 50), P95MS: pctMS(all, 95), P99MS: pctMS(all, 99),
+		Coalesce: st.CoalesceRatio,
+		Queries:  ok, Shed429: s429, Shed503: s503, Failed: failed,
+	}
+	fmt.Printf("ppmload: %d ok, %d shed429, %d shed503, %d failed\n", ok, s429, s503, failed)
+	fmt.Printf("ppmload: qps=%.0f p50=%.2fms p95=%.2fms p99=%.2fms coalesce=%.2fx\n",
+		r.QPS, r.P50MS, r.P95MS, r.P99MS, r.Coalesce)
+	fmt.Printf("ppmload: server stats: %+v\n", st)
+
+	if *jsonOut != "" {
+		data, _ := json.MarshalIndent([]row{r}, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ppmload: wrote %s\n", *jsonOut)
+	}
+	if ok == 0 {
+		fatal(fmt.Errorf("no query succeeded in the measured phase"))
+	}
+	if *maxFail >= 0 && failed > *maxFail {
+		fatal(fmt.Errorf("%d failed queries (max %d)", failed, *maxFail))
+	}
+}
+
+// sourceAt spreads the source pool across the vertex range so neighboring
+// pool slots are not neighboring vertices.
+func sourceAt(slot, n, pool int) int {
+	if pool <= 0 || n <= 0 {
+		return 0
+	}
+	return (slot * (n / pool)) % n
+}
+
+// parseMix expands "bfs=80,cc=10,pagerank=10" into a 100-slot lottery.
+func parseMix(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q", part)
+		}
+		pct, err := strconv.Atoi(kv[1])
+		if err != nil || pct < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "bfs", "cc", "pagerank":
+		default:
+			return nil, fmt.Errorf("unknown mix kind %q", kv[0])
+		}
+		for i := 0; i < pct; i++ {
+			out = append(out, kv[0])
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return out, nil
+}
+
+func waitHealthy(c *http.Client, url string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := c.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s: %v", url, patience, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func fire(c *http.Client, url string, q serve.Query) (int, error) {
+	body, _ := json.Marshal(q)
+	resp, err := c.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func fetchStats(c *http.Client, url string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := c.Get(url + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// pctMS reads the p-th percentile from sorted latencies, in milliseconds.
+func pctMS(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppmload:", err)
+	os.Exit(1)
+}

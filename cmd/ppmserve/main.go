@@ -1,0 +1,87 @@
+// ppmserve runs the resident query service (ppm/serve) over the native
+// runtime: graphs stay loaded, programs stay built, and concurrent BFS /
+// connectivity / PageRank queries are admitted, batched, and answered over a
+// small JSON HTTP API.
+//
+//	go run ./cmd/ppmserve -addr :8080 -procs 8 -max-batch 8
+//
+// API:
+//
+//	POST /query   {"graph":{"kind":"rand","n":100000,"m":200000,"seed":42},
+//	               "kind":"bfs","source":7,"deadline_ms":250}
+//	GET  /graphs  resident graph keys, most recently used first
+//	GET  /statsz  admission/batching/cache counters
+//	GET  /healthz liveness
+//
+// Overload answers 429 (admission queue full) or 503 (deadline passed while
+// queued, graph evicted, shutting down). Drive it with cmd/ppmload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/ppm/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		procs      = flag.Int("procs", 8, "processors per graph runtime")
+		maxGraphs  = flag.Int("max-graphs", 2, "resident graph cache size")
+		maxBatch   = flag.Int("max-batch", 8, "multi-source BFS batch width")
+		maxQueue   = flag.Int("max-queue", 256, "admission bound (429 past it)")
+		maxRuns    = flag.Int("max-runs", 1, "concurrent program runs across graphs")
+		deadline   = flag.Duration("deadline", 2*time.Second, "default per-query deadline")
+		memWords   = flag.Int("mem-words", 1<<24, "words per graph runtime region")
+		levelCache = flag.Int("level-cache", 64, "memoized BFS rows per graph")
+		prIters    = flag.Int("pr-iters", 10, "PageRank iterations")
+		stealBatch = flag.Int("steal-batch", 0, "native steal batch (0 = default)")
+		seed       = flag.Uint64("seed", 42, "graph generation seed")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Procs:             *procs,
+		MaxGraphs:         *maxGraphs,
+		MaxBatch:          *maxBatch,
+		MaxQueue:          *maxQueue,
+		MaxConcurrentRuns: *maxRuns,
+		DefaultDeadline:   *deadline,
+		MemWords:          *memWords,
+		LevelCacheEntries: *levelCache,
+		PageRankIters:     *prIters,
+		StealBatch:        *stealBatch,
+		Seed:              *seed,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppmserve: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "ppmserve: shutting down")
+		hs.Close()
+	}()
+
+	fmt.Printf("ppmserve: listening on %s (procs=%d, batch=%d, queue=%d)\n",
+		ln.Addr(), *procs, *maxBatch, *maxQueue)
+	err = hs.Serve(ln)
+	srv.Close()
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "ppmserve: %v\n", err)
+		os.Exit(1)
+	}
+}

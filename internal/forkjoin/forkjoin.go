@@ -87,7 +87,14 @@ func (fj *FJ) FinishClosure(pool int) pmem.Addr {
 // Run builds the root task in proc 0's pool, starts the scheduler on all
 // processors, and runs the machine until the computation completes or every
 // processor dies. Returns true if the computation signalled completion.
+//
+// Run may be called again after it returns: ResetRun zeroes the pool words
+// the previous computation dirtied (restoring the fresh-memory-is-zero
+// invariant its join cells relied on) and rewinds the cursors, so each run
+// sees the same pool the first one did. Serialize calls — one computation
+// owns the machine at a time.
 func (fj *FJ) Run(rootFid capsule.FuncID, rootArgs ...uint64) bool {
+	fj.m.ResetRun()
 	root := fj.m.BuildClosure(0, rootFid, fj.FinishClosure(0), rootArgs...)
 	fj.s.StartRoot(root)
 	fj.m.Run()

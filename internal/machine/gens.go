@@ -89,6 +89,37 @@ func (m *Machine) freezeGens() {
 	})
 }
 
+// ResetRun prepares the machine for another computation after the previous
+// one finished: it zeroes every pool word dirtied since construction —
+// harness-built root closures and all capsule allocations — restoring the
+// fresh-pool-memory-is-zero invariant that join cells rely on (Fork2
+// allocates its CAM cell unwritten), rewinds the setup cursors so root
+// closures rebuild at the same addresses every run, resets the recycling
+// state, and clears the Seq epoch. Harness-side only: call it strictly
+// between runs, never while processors execute. The zeroing is proportional
+// to what the previous run dirtied, exactly like a region claim.
+func (m *Machine) ResetRun() {
+	for p := 0; p < m.cfg.P; p++ {
+		hi := m.setupHigh[p]
+		if m.genSize[p] > 0 {
+			for r := 0; r < PoolGens; r++ {
+				start, _ := m.regionBounds(p, r)
+				if h := pmem.Addr(m.genHigh[p][r].Swap(int64(start))); h > hi {
+					hi = h
+				}
+				m.genLastW[p][r].Store(0)
+			}
+			m.genCur[p].Store(0)
+		}
+		if hi > m.setupMark[p] {
+			m.Mem.Zero(m.setupMark[p], int(hi-m.setupMark[p]))
+		}
+		m.setupCur[p] = m.setupMark[p]
+		m.setupHigh[p] = m.setupMark[p]
+	}
+	m.Mem.Write(m.EpochAddr(), 0)
+}
+
 // poolOf returns which processor's pool contains a. O(1): pools are
 // contiguous and equal-sized.
 func (m *Machine) poolOf(a pmem.Addr) (int, bool) {

@@ -100,6 +100,8 @@ type Machine struct {
 	stealRecArea  pmem.Addr
 	stealHalfSize pmem.Addr
 	setupCur      []pmem.Addr // setup-time allocation cursor per pool
+	setupMark     []pmem.Addr // setupCur after New: where ResetRun rewinds to
+	setupHigh     []pmem.Addr // high-water of setupCur: ResetRun's zero extent
 	heapCur       pmem.Addr   // setup-time cursor for the shared user heap
 	heapEnd       pmem.Addr
 
@@ -214,6 +216,10 @@ func New(cfg Config) *Machine {
 	for p := 0; p < cfg.P; p++ {
 		m.Mem.Write(m.RestartAddr(p), HaltWord)
 	}
+	// Everything below the marks (InstallSelf slots, steal arenas) is
+	// permanent; everything above is per-run state ResetRun may reclaim.
+	m.setupMark = append([]pmem.Addr(nil), m.setupCur...)
+	m.setupHigh = append([]pmem.Addr(nil), m.setupCur...)
 	return m
 }
 
@@ -294,6 +300,9 @@ func (m *Machine) BuildClosure(pool int, fid capsule.FuncID, cont pmem.Addr, arg
 	if m.setupCur[pool] > m.poolEnd[pool] {
 		panic("machine: pool exhausted during setup")
 	}
+	if m.setupCur[pool] > m.setupHigh[pool] {
+		m.setupHigh[pool] = m.setupCur[pool]
+	}
 	m.Mem.Write(base, capsule.PackHeader(fid, n))
 	m.Mem.Write(base+1, uint64(m.setupCur[pool]))
 	m.Mem.Write(base+2, uint64(cont))
@@ -310,10 +319,14 @@ func (m *Machine) SetRestart(p int, closure pmem.Addr) {
 }
 
 // Run starts all processors and waits for every one of them to halt or die.
+// Halt latches per-processor haltAfter flags; clearing them here is what
+// lets a machine whose computation finished be started again (dead
+// processors stay dead — hard faults are permanent in the model).
 func (m *Machine) Run() {
 	m.freezeGens()
 	var wg sync.WaitGroup
 	for _, p := range m.procs {
+		p.haltAfter = false
 		wg.Add(1)
 		go func(pr *Proc) {
 			defer wg.Done()
@@ -327,6 +340,7 @@ func (m *Machine) Run() {
 // convenient for single-processor experiments and tests.
 func (m *Machine) RunProc(p int) {
 	m.freezeGens()
+	m.procs[p].haltAfter = false
 	m.procs[p].loop()
 }
 

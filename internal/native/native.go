@@ -1,6 +1,7 @@
 package native
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +13,17 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/warcheck"
+)
+
+// Lifecycle errors. A Runtime is a resident resource: worker goroutines park
+// between runs and one run owns them at a time, so misuse has defined
+// outcomes instead of corrupted scheduler state.
+var (
+	// ErrBusy is returned by TryRun when another run is in flight on the
+	// same runtime.
+	ErrBusy = errors.New("native: runtime is already running")
+	// ErrClosed is returned by TryRun after Close has torn the runtime down.
+	ErrClosed = errors.New("native: runtime is closed")
 )
 
 // Config sizes a native runtime.
@@ -145,6 +157,22 @@ type Runtime struct {
 	overflow []*task
 
 	persistBase pmem.Addr // P block-spaced epoch words, when Persist is on
+
+	// Lifecycle. Workers are resident goroutines: the first Run starts them,
+	// they park on runCond between runs, and Close stops them and releases
+	// the region. runMu is held for the whole of a run (TryLock gives the
+	// defined ErrBusy on overlap) and taken by Close so shutdown waits for
+	// any in-flight run. runGen, runDone, and stopping are guarded by parkMu.
+	runMu    sync.Mutex
+	closed   atomic.Bool
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	runGen   uint64
+	runDone  chan struct{}
+	stopping bool
+	started  bool // workers launched (guarded by runMu)
+	active   atomic.Int32
+	wg       sync.WaitGroup
 }
 
 // New builds a native runtime.
@@ -162,6 +190,7 @@ func New(cfg Config) *Runtime {
 	if cfg.Persist {
 		rt.persistBase = rt.HeapAllocBlocks(cfg.P * cfg.BlockWords)
 	}
+	rt.parkCond = sync.NewCond(&rt.parkMu)
 	sm := rng.NewSplitMix64(cfg.Seed ^ 0xa5a5a5a5deadbeef)
 	rt.workers = make([]*Ctx, cfg.P)
 	for p := 0; p < cfg.P; p++ {
@@ -218,6 +247,9 @@ func (rt *Runtime) BlockWords() int { return rt.cfg.BlockWords }
 
 func (rt *Runtime) check(a pmem.Addr) {
 	if a <= 0 || int64(a) >= int64(len(rt.mem)) {
+		if rt.closed.Load() {
+			panic(ErrClosed)
+		}
 		panic(fmt.Sprintf("native: address %d out of range (size %d)", a, len(rt.mem)))
 	}
 }
@@ -264,29 +296,137 @@ func (rt *Runtime) popOverflow() *task {
 
 // Run executes root(args...) to completion on all P workers and returns
 // whether the computation finished (it always does natively — hard faults
-// are a model-engine concern).
+// are a model-engine concern). Run on a busy or closed runtime panics with
+// ErrBusy/ErrClosed; long-lived callers that share a runtime should use
+// TryRun and handle the error.
 func (rt *Runtime) Run(root capsule.FuncID, args ...uint64) bool {
+	ok, err := rt.TryRun(root, args...)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// TryRun is Run with a defined failure mode: it returns ErrBusy when another
+// run currently owns the workers (instead of two roots corrupting the deques
+// and join state) and ErrClosed after Close. Sequential reuse of one runtime
+// across many runs — the serving pattern — is the intended use; the resident
+// workers park between runs instead of being respawned.
+func (rt *Runtime) TryRun(root capsule.FuncID, args ...uint64) (bool, error) {
+	if rt.closed.Load() {
+		return false, ErrClosed
+	}
+	if !rt.runMu.TryLock() {
+		return false, ErrBusy
+	}
+	defer rt.runMu.Unlock()
+	if rt.closed.Load() {
+		// Close won the race for runMu and already tore the workers down.
+		return false, ErrClosed
+	}
+	rt.ensureStarted()
+
 	rt.done.Store(false)
 	rootJoin := &join{}
 	rootJoin.pending.Store(1)
 	rt.inject(&task{kind: taskUser, fn: root, args: args, join: rootJoin})
 
-	var wg sync.WaitGroup
-	for _, w := range rt.workers {
-		wg.Add(1)
-		go func(w *Ctx) {
-			defer wg.Done()
-			w.schedLoop()
-		}(w)
-	}
-	wg.Wait()
-	return true
+	rt.active.Store(int32(rt.cfg.P))
+	done := make(chan struct{})
+	rt.parkMu.Lock()
+	rt.runDone = done
+	rt.runGen++
+	rt.parkCond.Broadcast()
+	rt.parkMu.Unlock()
+	// The last worker to drain out of schedLoop closes done; the atomic
+	// decrement chain orders every worker's counters before our return.
+	<-done
+	return true, nil
 }
+
+// ensureStarted launches the resident worker goroutines on first use.
+// Callers hold runMu.
+func (rt *Runtime) ensureStarted() {
+	if rt.started {
+		return
+	}
+	rt.started = true
+	rt.wg.Add(len(rt.workers))
+	for _, w := range rt.workers {
+		go rt.workerLoop(w)
+	}
+}
+
+// workerLoop is one resident worker: park until a run generation is
+// published (or shutdown), drain the run via schedLoop, report completion,
+// park again.
+func (rt *Runtime) workerLoop(w *Ctx) {
+	defer rt.wg.Done()
+	var seen uint64
+	for {
+		rt.parkMu.Lock()
+		for rt.runGen == seen && !rt.stopping {
+			rt.parkCond.Wait()
+		}
+		if rt.stopping {
+			rt.parkMu.Unlock()
+			return
+		}
+		seen = rt.runGen
+		done := rt.runDone
+		rt.parkMu.Unlock()
+		w.schedLoop()
+		if rt.active.Add(-1) == 0 {
+			close(done)
+		}
+	}
+}
+
+// Close tears the runtime down: it waits for any in-flight run to complete,
+// stops and joins the resident worker goroutines, and releases the memory
+// region. Close is idempotent; TryRun after Close returns ErrClosed, and
+// harness-side memory access panics. A runtime that never ran closes without
+// ever having started workers.
+func (rt *Runtime) Close() error {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	if rt.closed.Swap(true) {
+		return nil
+	}
+	if rt.started {
+		rt.parkMu.Lock()
+		rt.stopping = true
+		rt.parkCond.Broadcast()
+		rt.parkMu.Unlock()
+		rt.wg.Wait()
+	}
+	// Drop the region and shard arms so a multi-hundred-MB serving cache
+	// entry is reclaimed at eviction, not at process exit.
+	rt.mem = nil
+	rt.shards = nil
+	return nil
+}
+
+// Closed reports whether Close has run.
+func (rt *Runtime) Closed() bool { return rt.closed.Load() }
 
 // RunOnAll starts fn(args...) independently on every worker — no deques, no
 // stealing — and waits for every chain to Halt. This mirrors the model
-// machine's manual-chain mode used by protocol demonstrations.
+// machine's manual-chain mode used by protocol demonstrations. The chains
+// run on the workers' Ctx state but on dedicated goroutines, so the resident
+// workers stay parked; the run lock still applies (panics with ErrBusy /
+// ErrClosed on misuse, like Run).
 func (rt *Runtime) RunOnAll(fn capsule.FuncID, args ...uint64) {
+	if rt.closed.Load() {
+		panic(ErrClosed)
+	}
+	if !rt.runMu.TryLock() {
+		panic(ErrBusy)
+	}
+	defer rt.runMu.Unlock()
+	if rt.closed.Load() {
+		panic(ErrClosed)
+	}
 	rt.done.Store(false)
 	var wg sync.WaitGroup
 	for _, w := range rt.workers {

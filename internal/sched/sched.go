@@ -94,9 +94,14 @@ func (s *Scheduler) DoneAddr() pmem.Addr { return s.m.CtrlAddr(ctrlDone) }
 func (s *Scheduler) IsDone() bool { return s.m.Mem.Read(s.DoneAddr()) == 1 }
 
 // StartRoot assigns the root thread (a closure built in proc 0's pool) to
-// processor 0 and sends every other processor looking for work.
+// processor 0 and sends every other processor looking for work. It clears
+// the completion flag and every deque, so a machine whose previous
+// computation finished can be started again (serialized re-run: closure
+// pools keep bump-allocating across runs and are reclaimed by the epoch
+// recycling of Seq-structured programs, exactly as within one long run).
 func (s *Scheduler) StartRoot(root pmem.Addr) {
 	mem := s.m.Mem
+	mem.Write(s.DoneAddr(), 0)
 	for p := 0; p < s.m.P(); p++ {
 		mem.Write(s.l.TopAddr(p), 0)
 		mem.Write(s.l.BotAddr(p), 0)

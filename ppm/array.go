@@ -51,9 +51,19 @@ func (a Array) Load(vals []uint64) {
 
 // Snapshot copies the array out of persistent memory (harness-side, free).
 func (a Array) Snapshot() []uint64 {
-	out := make([]uint64, a.n)
+	return a.SnapshotRange(0, a.n)
+}
+
+// SnapshotRange copies elements [lo, hi) out of persistent memory
+// (harness-side, free) — the row-extraction path for batched outputs, where
+// one logical result per query lives in a slice of a wider array.
+func (a Array) SnapshotRange(lo, hi int) []uint64 {
+	if lo < 0 || hi > a.n || lo > hi {
+		panic("ppm: SnapshotRange out of range")
+	}
+	out := make([]uint64, hi-lo)
 	for i := range out {
-		out[i] = a.rt.eng.memRead(a.At(i))
+		out[i] = a.rt.eng.memRead(a.At(lo + i))
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package ppm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/algos/blockio"
 	"repro/internal/capsule"
@@ -49,8 +50,10 @@ func ParseEngine(s string) (Engine, error) {
 type engine interface {
 	name() Engine
 	register(name string, fn Func, rt *Runtime) FuncRef
-	run(root FuncRef, args []uint64) bool
+	tryRun(root FuncRef, args []uint64) (bool, error)
 	runOnAll(fn FuncRef, args []uint64)
+	close() error
+	isClosed() bool
 	heapAllocBlocks(n int) Addr
 	memRead(a Addr) uint64
 	memWrite(a Addr, v uint64)
@@ -96,9 +99,15 @@ type capCtx interface {
 // ---- model engine ----
 
 // modelEngine wraps the assembled simulator (machine + scheduler +
-// fork-join) behind the engine seam.
+// fork-join) behind the engine seam. The lifecycle flags give the simulator
+// the same defined misuse errors as the native backend: a second Run while
+// one is stepping the machine would corrupt closure-pool state, so it is
+// refused, and a closed engine refuses to run at all (the simulator has no
+// worker goroutines or region to release — Close only latches the flag).
 type modelEngine struct {
-	rt *core.Runtime
+	rt      *core.Runtime
+	running atomic.Bool
+	closed  atomic.Bool
 }
 
 func newModelEngine(c config) *modelEngine {
@@ -126,9 +135,33 @@ func (m *modelEngine) register(name string, fn Func, rt *Runtime) FuncRef {
 	return FuncRef{fid: fid}
 }
 
-func (m *modelEngine) run(root FuncRef, args []uint64) bool {
-	return m.rt.Run(root.fid, args...)
+func (m *modelEngine) tryRun(root FuncRef, args []uint64) (bool, error) {
+	if m.closed.Load() {
+		return false, ErrRuntimeClosed
+	}
+	if !m.running.CompareAndSwap(false, true) {
+		return false, ErrRuntimeBusy
+	}
+	defer m.running.Store(false)
+	// A hard-faulted processor never restarts (the paper's model): a re-run
+	// would assign it work that nobody executes and spin the survivors
+	// forever, so it is refused up front. A fresh machine has no dead
+	// processors, so first runs — including the hard-fault sweeps, whose
+	// deaths happen mid-run — are never affected.
+	for p := 0; p < m.rt.Machine.P(); p++ {
+		if m.rt.Machine.Proc(p).Dead() {
+			return false, ErrRuntimeDead
+		}
+	}
+	return m.rt.Run(root.fid, args...), nil
 }
+
+func (m *modelEngine) close() error {
+	m.closed.Store(true)
+	return nil
+}
+
+func (m *modelEngine) isClosed() bool { return m.closed.Load() }
 
 func (m *modelEngine) runOnAll(fn FuncRef, args []uint64) {
 	mach := m.rt.Machine

@@ -1,0 +1,86 @@
+package graph_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/ppm"
+	"repro/ppm/graph"
+)
+
+func TestMultiBFSBothEngines(t *testing.T) {
+	for _, eng := range bothEngines {
+		t.Run(string(eng), func(t *testing.T) {
+			g := fixedGraph()
+			ms := graph.NewMultiBFS("fixed", g, 4)
+			rt := newRT(eng, 2)
+			defer rt.Close()
+			ms.Build(rt)
+
+			// Batches exercising every width: singleton, partial (padded),
+			// full, duplicates, unreachable components, isolated vertex.
+			batches := [][]int{
+				{0},
+				{5, 8},
+				{0, 3, 6, 8},
+				{2, 2, 7},
+			}
+			for _, srcs := range batches {
+				ok, err := ms.RunBatch(srcs)
+				if err != nil || !ok {
+					t.Fatalf("RunBatch(%v): ok=%v err=%v", srcs, ok, err)
+				}
+				if err := ms.Verify(); err != nil {
+					t.Fatalf("RunBatch(%v): %v", srcs, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMultiBFSRandomGraph(t *testing.T) {
+	g := graph.Rand(300, 600, 7)
+	ms := graph.NewMultiBFS("rand", g, 8)
+	rt := newRT(ppm.EngineNative, 4)
+	defer rt.Close()
+	ms.Build(rt)
+	ok, err := ms.RunBatch([]int{0, 17, 42, 99, 123, 200, 250, 299})
+	if err != nil || !ok {
+		t.Fatalf("RunBatch: ok=%v err=%v", ok, err)
+	}
+	if err := ms.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A second, narrower batch on the same resident program must fully reset.
+	ok, err = ms.RunBatch([]int{123})
+	if err != nil || !ok {
+		t.Fatalf("second RunBatch: ok=%v err=%v", ok, err)
+	}
+	if err := ms.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiBFSRejectsBadBatches(t *testing.T) {
+	g := fixedGraph()
+	ms := graph.NewMultiBFS("bad", g, 2)
+	rt := newRT(ppm.EngineNative, 1)
+	defer rt.Close()
+	ms.Build(rt)
+	if _, err := ms.RunBatch([]int{0, 1, 2}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if _, err := ms.RunBatch([]int{-1}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := ms.RunBatch([]int{9}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if ok, err := ms.RunBatch(nil); err != nil || !ok {
+		t.Fatalf("empty batch: ok=%v err=%v", ok, err)
+	}
+	rt.Close()
+	if _, err := ms.RunBatch([]int{0}); !errors.Is(err, ppm.ErrRuntimeClosed) {
+		t.Fatalf("RunBatch after Close = %v, want ErrRuntimeClosed", err)
+	}
+}

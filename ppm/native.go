@@ -57,9 +57,19 @@ func (n *nativeEngine) register(name string, fn Func, rt *Runtime) FuncRef {
 	return FuncRef{fid: fid}
 }
 
-func (n *nativeEngine) run(root FuncRef, args []uint64) bool {
-	return n.rt.Run(root.fid, args...)
+func (n *nativeEngine) tryRun(root FuncRef, args []uint64) (bool, error) {
+	ok, err := n.rt.TryRun(root.fid, args...)
+	switch err {
+	case native.ErrBusy:
+		return ok, ErrRuntimeBusy
+	case native.ErrClosed:
+		return ok, ErrRuntimeClosed
+	}
+	return ok, err
 }
+
+func (n *nativeEngine) close() error   { return n.rt.Close() }
+func (n *nativeEngine) isClosed() bool { return n.rt.Closed() }
 
 func (n *nativeEngine) runOnAll(fn FuncRef, args []uint64) {
 	n.rt.RunOnAll(fn.fid, args...)

@@ -49,10 +49,24 @@
 package ppm
 
 import (
+	"errors"
+
 	"repro/internal/capsule"
 	"repro/internal/machine"
 	"repro/internal/pmem"
 	"repro/internal/stats"
+)
+
+// Lifecycle errors: a Runtime executes one run at a time and stops accepting
+// work after Close. TryRun returns these; Run panics with them.
+var (
+	ErrRuntimeBusy   = errors.New("ppm: runtime is already running")
+	ErrRuntimeClosed = errors.New("ppm: runtime is closed")
+	// ErrRuntimeDead refuses a re-run on a model runtime with hard-faulted
+	// processors: in the paper's model a dead processor never restarts, so a
+	// new computation would strand its share of the work. Build a fresh
+	// runtime to run again after a hard-fault experiment.
+	ErrRuntimeDead = errors.New("ppm: model runtime has hard-faulted processors")
 )
 
 // Addr is a word address in the runtime's persistent memory.
@@ -106,10 +120,41 @@ func (r *Runtime) Register(name string, fn Func) FuncRef {
 // Run executes root(args...) as the root thread on the engine's scheduler,
 // under the configured fault model, until it completes or (model engine)
 // every processor has died. It returns true if the computation completed;
-// results written to Arrays are then visible through Snapshot.
+// results written to Arrays are then visible through Snapshot. A runtime may
+// be Run repeatedly (the native engine keeps its worker goroutines resident
+// and parks them between runs), but only one run may be in flight: Run on a
+// busy or closed runtime panics with ErrRuntimeBusy / ErrRuntimeClosed.
+// Callers that share a runtime across goroutines — a query service — should
+// use TryRun and handle the error.
 func (r *Runtime) Run(root FuncRef, args ...any) bool {
-	return r.eng.run(root, toWords(args))
+	ok, err := r.TryRun(root, args...)
+	if err != nil {
+		panic(err)
+	}
+	return ok
 }
+
+// TryRun is Run with a defined failure mode instead of a panic: it returns
+// ErrRuntimeBusy when another run currently owns the engine (the overlapping
+// run is refused outright rather than corrupting scheduler or pool state)
+// and ErrRuntimeClosed after Close.
+func (r *Runtime) TryRun(root FuncRef, args ...any) (bool, error) {
+	return r.eng.tryRun(root, toWords(args))
+}
+
+// Close releases the runtime: it waits for any in-flight run to finish,
+// tears down the native engine's resident worker goroutines, and frees its
+// memory region (on the model engine there is nothing to tear down — Close
+// only latches the closed flag). Close is idempotent. After Close, TryRun
+// returns ErrRuntimeClosed and harness-side memory access (Snapshot, Load)
+// panics. Long-lived processes that cache runtimes — the serving cache —
+// must Close evicted entries or the regions accumulate.
+func (r *Runtime) Close() error { return r.eng.close() }
+
+// Closed reports whether Close has been called. Harness code that stages
+// inputs with Array.Load before a TryRun checks this first: staging into a
+// released region panics.
+func (r *Runtime) Closed() bool { return r.eng.isClosed() }
 
 // RunOnAll starts fn(args...) independently on every processor — no
 // scheduler, no work stealing — and waits for all of them to halt or die.

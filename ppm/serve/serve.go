@@ -1,0 +1,841 @@
+// Package serve is the resident query service over the Parallel-PM native
+// runtime: it keeps loaded graphs and their built programs alive across
+// queries and turns the one-shot benchmark shape (build runtime, run, throw
+// both away) into a long-lived server.
+//
+// Three mechanisms make a single-run-at-a-time runtime serve concurrent
+// traffic:
+//
+//   - Admission control. A global bound caps the queries in flight; past it,
+//     Submit refuses immediately (ErrOverloaded → HTTP 429). Every admitted
+//     query carries a deadline; a query whose deadline passes while it waits
+//     is answered ErrDeadline (HTTP 503) — the runner never spends a run on
+//     a waiter that has already given up.
+//
+//   - Batching. Each resident graph has one runner goroutine that drains its
+//     queue and coalesces compatible work: concurrent BFS queries execute as
+//     one multi-source frontier program (graph.MultiBFS, up to MaxBatch
+//     sources per run), and connectivity/PageRank — whose results depend
+//     only on the graph — run once and are memoized for every current and
+//     future waiter. BFS levels are memoized per source in a bounded LRU, so
+//     repeated sources are served without any run at all.
+//
+//   - Lifecycle. Graphs live in a bounded LRU cache; each entry owns its own
+//     native runtime, so evicting an entry releases its whole memory region
+//     through Runtime.Close (the pmem allocator is a bump allocator with no
+//     free list — per-entry runtimes are what make eviction reclaim memory).
+//
+// The package is HTTP-free at its core: Server.Submit is the programmatic
+// interface, and http.go wraps it in handlers (POST /query, GET /graphs,
+// GET /statsz, GET /healthz) for cmd/ppmserve.
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/ppm"
+	"repro/ppm/graph"
+)
+
+// Service errors, mapped onto HTTP statuses by http.go.
+var (
+	// ErrOverloaded refuses admission when the global queue is full (429).
+	ErrOverloaded = errors.New("serve: query queue full")
+	// ErrDeadline answers a query whose deadline passed in the queue (503).
+	ErrDeadline = errors.New("serve: deadline exceeded before execution")
+	// ErrEvicted answers waiters of a graph evicted mid-flight (503).
+	ErrEvicted = errors.New("serve: graph evicted while query was queued")
+	// ErrClosed refuses queries after Server.Close (503).
+	ErrClosed = errors.New("serve: server is closed")
+	// ErrRunFailed reports a program run that did not complete (500).
+	ErrRunFailed = errors.New("serve: program run did not complete")
+)
+
+// Config sizes the server. The zero value is unusable; call Default() and
+// override, or fill every field.
+type Config struct {
+	// Procs is P for each graph's native runtime.
+	Procs int
+	// MaxGraphs bounds the resident-graph LRU; admission of a new graph
+	// evicts the least-recently-used entry (closing its runtime).
+	MaxGraphs int
+	// MaxBatch is the multi-source BFS batch capacity per graph (rounded up
+	// to a power of two). Larger batches coalesce more concurrent BFS
+	// queries per run at kMax*n words of memory per graph.
+	MaxBatch int
+	// MaxQueue bounds queries admitted and not yet answered, across all
+	// graphs. Beyond it Submit returns ErrOverloaded.
+	MaxQueue int
+	// MaxConcurrentRuns bounds program runs executing simultaneously across
+	// graph entries (each entry is internally serialized; this caps
+	// cross-entry parallelism so co-resident graphs do not oversubscribe
+	// the machine).
+	MaxConcurrentRuns int
+	// DefaultDeadline applies to queries that do not set one.
+	DefaultDeadline time.Duration
+	// MemWords sizes each graph runtime's memory region.
+	MemWords int
+	// LevelCacheEntries bounds the per-graph LRU of memoized BFS level rows
+	// (one row is n words host-side).
+	LevelCacheEntries int
+	// PageRankIters is the fixed iteration count for pagerank queries.
+	PageRankIters int
+	// StealBatch configures the native scheduler's steal batching (0 =
+	// native default).
+	StealBatch int
+	// Seed drives graph generation determinism.
+	Seed uint64
+}
+
+// Default returns the configuration cmd/ppmserve starts from.
+func Default() Config {
+	return Config{
+		Procs:             4,
+		MaxGraphs:         2,
+		MaxBatch:          8,
+		MaxQueue:          256,
+		MaxConcurrentRuns: 1,
+		DefaultDeadline:   2 * time.Second,
+		MemWords:          1 << 24,
+		LevelCacheEntries: 64,
+		PageRankIters:     10,
+		Seed:              42,
+	}
+}
+
+// GraphSpec names a generated graph; it is the cache key. Kind is one of the
+// graph package's generators ("rand", "grid", "rmat").
+type GraphSpec struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	Seed uint64 `json:"seed"`
+}
+
+// Key is the canonical cache key of the spec.
+func (s GraphSpec) Key() string {
+	return fmt.Sprintf("%s:n%d:m%d:s%d", s.Kind, s.N, s.M, s.Seed)
+}
+
+// Query is one request against a resident graph.
+type Query struct {
+	Graph  GraphSpec `json:"graph"`
+	Kind   string    `json:"kind"`   // "bfs", "cc", "pagerank"
+	Source int       `json:"source"` // bfs only
+	// DeadlineMS bounds queue wait + execution; 0 uses the server default.
+	DeadlineMS int64 `json:"deadline_ms"`
+}
+
+// Result is the answer to a query. Large outputs are summarized: a BFS
+// answer carries the reached-vertex count, the maximum finite level, and a
+// checksum of the level array; cc the component count; pagerank the rank
+// checksum. Batched reports how many queries the run that produced this
+// answer served (1 = unshared); Cached is true when no run was needed.
+type Result struct {
+	Kind     string `json:"kind"`
+	Source   int    `json:"source,omitempty"`
+	N        int    `json:"n"`
+	Reached  int    `json:"reached,omitempty"`
+	MaxLevel uint64 `json:"max_level,omitempty"`
+	Checksum uint64 `json:"checksum"`
+	Extra    uint64 `json:"extra,omitempty"` // cc: components; pagerank: iters
+	Batched  int    `json:"batched"`
+	Cached   bool   `json:"cached"`
+	WaitMS   int64  `json:"wait_ms"`
+}
+
+// Stats is the counter snapshot served at /statsz.
+type Stats struct {
+	Queries       int64   `json:"queries"`        // admitted
+	Answered      int64   `json:"answered"`       // answered successfully
+	Shed429       int64   `json:"shed_429"`       // refused at admission
+	Shed503       int64   `json:"shed_503"`       // deadline/eviction/closed
+	Runs          int64   `json:"runs"`           // program runs executed
+	RunQueries    int64   `json:"run_queries"`    // queries answered by runs
+	CacheHits     int64   `json:"cache_hits"`     // answered with no run
+	Evictions     int64   `json:"evictions"`      // graph entries closed
+	GraphsBuilt   int64   `json:"graphs_built"`   // entries constructed
+	CoalesceRatio float64 `json:"coalesce_ratio"` // RunQueries / Runs
+}
+
+type counters struct {
+	queries, answered, shed429, shed503 atomic.Int64
+	runs, runQueries, cacheHits         atomic.Int64
+	evictions, graphsBuilt              atomic.Int64
+	inFlight                            atomic.Int64
+}
+
+// Server is the resident query service.
+type Server struct {
+	cfg    Config
+	ctr    counters
+	runSem chan struct{} // bounds cross-entry concurrent runs
+
+	mu      sync.Mutex
+	closed  bool
+	entries map[string]*entry
+	builds  map[string]*buildState // in-flight graph builds, deduplicated
+	lru     *list.List             // front = most recent; values are *entry
+}
+
+// buildState coalesces concurrent first queries for the same graph onto one
+// build: building a graph means generating it, constructing a runtime, and
+// compiling three programs — work (and a memory region) that must not be
+// multiplied by the very burst the batcher is there to absorb.
+type buildState struct {
+	ready chan struct{} // closed when the build finishes
+	e     *entry
+	err   error
+}
+
+// New builds a server from cfg (zero fields fall back to Default values).
+func New(cfg Config) *Server {
+	d := Default()
+	if cfg.Procs <= 0 {
+		cfg.Procs = d.Procs
+	}
+	if cfg.MaxGraphs <= 0 {
+		cfg.MaxGraphs = d.MaxGraphs
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = d.MaxBatch
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = d.MaxQueue
+	}
+	if cfg.MaxConcurrentRuns <= 0 {
+		cfg.MaxConcurrentRuns = d.MaxConcurrentRuns
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = d.DefaultDeadline
+	}
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = d.MemWords
+	}
+	if cfg.LevelCacheEntries <= 0 {
+		cfg.LevelCacheEntries = d.LevelCacheEntries
+	}
+	if cfg.PageRankIters <= 0 {
+		cfg.PageRankIters = d.PageRankIters
+	}
+	return &Server{
+		cfg:     cfg,
+		runSem:  make(chan struct{}, cfg.MaxConcurrentRuns),
+		entries: make(map[string]*entry),
+		builds:  make(map[string]*buildState),
+		lru:     list.New(),
+	}
+}
+
+// Submit runs one query to completion: admission, graph residency, batching
+// or memoized answer, deadline. It blocks until the answer (or refusal) and
+// is safe for arbitrary concurrency.
+func (s *Server) Submit(q Query) (*Result, error) {
+	start := time.Now()
+	deadline := s.cfg.DefaultDeadline
+	if q.DeadlineMS > 0 {
+		deadline = time.Duration(q.DeadlineMS) * time.Millisecond
+	}
+	switch q.Kind {
+	case "bfs", "cc", "pagerank":
+	default:
+		return nil, fmt.Errorf("serve: unknown query kind %q", q.Kind)
+	}
+	// Admission: a full queue refuses immediately rather than building
+	// backlog the deadlines would shed anyway.
+	if n := s.ctr.inFlight.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.ctr.inFlight.Add(-1)
+		s.ctr.shed429.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer s.ctr.inFlight.Add(-1)
+	s.ctr.queries.Add(1)
+
+	e, err := s.entryFor(q.Graph)
+	if err != nil {
+		s.ctr.shed503.Add(1)
+		return nil, err
+	}
+	if q.Kind == "bfs" && (q.Source < 0 || q.Source >= e.g.N) {
+		return nil, fmt.Errorf("serve: bfs source %d out of range for n=%d", q.Source, e.g.N)
+	}
+
+	// Memoized fast path: no run, no queue.
+	if r := e.cachedResult(q); r != nil {
+		s.ctr.cacheHits.Add(1)
+		s.ctr.answered.Add(1)
+		r.WaitMS = time.Since(start).Milliseconds()
+		return r, nil
+	}
+
+	// Queue for the entry's runner, bounded by the query's deadline.
+	pq := &pending{q: q, done: make(chan struct{}), expiry: start.Add(deadline)}
+	if err := e.enqueue(pq); err != nil {
+		s.ctr.shed503.Add(1)
+		return nil, err
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-pq.done:
+	case <-timer.C:
+		// The runner skips expired waiters; mark ours so a racing runner
+		// that already picked it up still completes it (we then prefer its
+		// answer if it arrived before we observed the timeout).
+		if pq.expire() {
+			s.ctr.shed503.Add(1)
+			return nil, ErrDeadline
+		}
+		<-pq.done
+	}
+	if pq.err != nil {
+		s.ctr.shed503.Add(1)
+		return nil, pq.err
+	}
+	s.ctr.answered.Add(1)
+	pq.res.WaitMS = time.Since(start).Milliseconds()
+	return pq.res, nil
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	runs := s.ctr.runs.Load()
+	rq := s.ctr.runQueries.Load()
+	ratio := 0.0
+	if runs > 0 {
+		ratio = float64(rq) / float64(runs)
+	}
+	return Stats{
+		Queries:       s.ctr.queries.Load(),
+		Answered:      s.ctr.answered.Load(),
+		Shed429:       s.ctr.shed429.Load(),
+		Shed503:       s.ctr.shed503.Load(),
+		Runs:          runs,
+		RunQueries:    rq,
+		CacheHits:     s.ctr.cacheHits.Load(),
+		Evictions:     s.ctr.evictions.Load(),
+		GraphsBuilt:   s.ctr.graphsBuilt.Load(),
+		CoalesceRatio: ratio,
+	}
+}
+
+// Graphs lists the resident graph keys, most recently used first.
+func (s *Server) Graphs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Close evicts every resident graph (closing their runtimes) and refuses
+// further queries. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	evict := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		evict = append(evict, e)
+	}
+	s.entries = map[string]*entry{}
+	s.lru.Init()
+	s.mu.Unlock()
+	for _, e := range evict {
+		e.close()
+		s.ctr.evictions.Add(1)
+	}
+}
+
+// entryFor returns the resident entry for spec, building (and evicting) as
+// needed. Building happens outside the server lock; concurrent first
+// queries for the same graph share one build through buildState instead of
+// each constructing (and mostly discarding) a runtime.
+func (s *Server) entryFor(spec GraphSpec) (*entry, error) {
+	key := spec.Key()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.lruEl)
+		s.mu.Unlock()
+		return e, nil
+	}
+	if b, ok := s.builds[key]; ok {
+		s.mu.Unlock()
+		<-b.ready
+		// An eviction racing the handoff is caught later, at enqueue.
+		return b.e, b.err
+	}
+	b := &buildState{ready: make(chan struct{})}
+	s.builds[key] = b
+	s.mu.Unlock()
+
+	e, err := s.buildEntry(spec)
+
+	s.mu.Lock()
+	delete(s.builds, key)
+	if err == nil && s.closed {
+		err = ErrClosed
+	}
+	if err != nil {
+		s.mu.Unlock()
+		if e != nil {
+			e.close()
+		}
+		b.err = err
+		close(b.ready)
+		return nil, err
+	}
+	s.entries[key] = e
+	e.lruEl = s.lru.PushFront(e)
+	var evict []*entry
+	for len(s.entries) > s.cfg.MaxGraphs {
+		back := s.lru.Back()
+		old := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, old.key)
+		evict = append(evict, old)
+	}
+	s.mu.Unlock()
+	b.e = e
+	close(b.ready)
+	for _, old := range evict {
+		old.close()
+		s.ctr.evictions.Add(1)
+	}
+	return e, nil
+}
+
+func (s *Server) buildEntry(spec GraphSpec) (*entry, error) {
+	g, err := graph.Generate(spec.Kind, spec.N, spec.M, spec.Seed^s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := []ppm.Option{
+		ppm.WithEngine(ppm.EngineNative),
+		ppm.WithProcs(s.cfg.Procs),
+		ppm.WithMemWords(s.cfg.MemWords),
+		ppm.WithSeed(s.cfg.Seed),
+	}
+	if s.cfg.StealBatch > 0 {
+		opts = append(opts, ppm.WithNativeStealBatch(s.cfg.StealBatch))
+	}
+	rt := ppm.New(opts...)
+	e := &entry{
+		srv:    s,
+		key:    spec.Key(),
+		g:      g,
+		rt:     rt,
+		ms:     graph.NewMultiBFS("serve", g, s.cfg.MaxBatch),
+		cc:     graph.Components("serve", g),
+		pr:     graph.PageRank("serve", g, s.cfg.PageRankIters),
+		queue:  make(chan *pending, s.cfg.MaxQueue),
+		quit:   make(chan struct{}),
+		levels: make(map[int]*list.Element),
+		lvlLRU: list.New(),
+	}
+	e.ms.Build(rt)
+	e.cc.Build(rt)
+	e.pr.Build(rt)
+	s.ctr.graphsBuilt.Add(1)
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// ---- per-graph entry ----
+
+// pending is one queued query and its completion slot.
+type pending struct {
+	q      Query
+	expiry time.Time
+	res    *Result
+	err    error
+	done   chan struct{}
+
+	// state: 0 queued, 1 claimed by the runner, 2 expired by the waiter.
+	state atomic.Int32
+}
+
+// claim is the runner taking ownership; fails if the waiter expired first.
+func (p *pending) claim() bool { return p.state.CompareAndSwap(0, 1) }
+
+// expire is the waiter giving up; fails if the runner claimed first.
+func (p *pending) expire() bool { return p.state.CompareAndSwap(0, 2) }
+
+func (p *pending) finish(r *Result, err error) {
+	p.res, p.err = r, err
+	close(p.done)
+}
+
+// lvlEntry is one memoized BFS answer. Only the summary is kept — a raw
+// level row is n words, and nothing downstream reads more than the summary.
+type lvlEntry struct {
+	source int
+	res    *Result
+}
+
+// entry is one resident graph: its runtime, built programs, runner, and
+// memoized results.
+type entry struct {
+	srv   *Server
+	key   string
+	g     *graph.Graph
+	rt    *ppm.Runtime
+	ms    *graph.MultiBFS
+	cc    ppm.Algorithm
+	pr    ppm.Algorithm
+	lruEl *list.Element
+
+	queue chan *pending
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// Memoized results. A graph is immutable while resident, so cc and
+	// pagerank are computed at most once per residency ("graph epoch"):
+	// eviction discards them with the entry.
+	memoMu sync.Mutex
+	ccRes  *Result
+	prRes  *Result
+	levels map[int]*list.Element // source -> *lvlEntry element
+	lvlLRU *list.List
+}
+
+// enqueue hands a pending query to the runner.
+func (e *entry) enqueue(p *pending) error {
+	select {
+	case <-e.quit:
+		return ErrEvicted
+	default:
+	}
+	select {
+	case e.queue <- p:
+		return nil
+	case <-e.quit:
+		return ErrEvicted
+	default:
+		// Queue full: the global admission bound is the real limiter; a
+		// full per-entry queue means it is saturated too.
+		return ErrOverloaded
+	}
+}
+
+// close stops the runner (draining its queue with ErrEvicted) and releases
+// the runtime's memory region.
+func (e *entry) close() {
+	close(e.quit)
+	e.wg.Wait()
+	for {
+		select {
+		case p := <-e.queue:
+			if p.claim() {
+				p.finish(nil, ErrEvicted)
+			}
+		default:
+			e.rt.Close()
+			return
+		}
+	}
+}
+
+// cachedResult answers q from the memo tables, or nil.
+func (e *entry) cachedResult(q Query) *Result {
+	e.memoMu.Lock()
+	defer e.memoMu.Unlock()
+	switch q.Kind {
+	case "cc":
+		if e.ccRes != nil {
+			r := *e.ccRes
+			r.Cached = true
+			return &r
+		}
+	case "pagerank":
+		if e.prRes != nil {
+			r := *e.prRes
+			r.Cached = true
+			return &r
+		}
+	case "bfs":
+		if el, ok := e.levels[q.Source]; ok {
+			e.lvlLRU.MoveToFront(el)
+			r := *el.Value.(*lvlEntry).res
+			r.Cached = true
+			r.Batched = 1
+			return &r
+		}
+	}
+	return nil
+}
+
+// run is the entry's runner goroutine: it drains the queue, coalesces
+// same-kind work into single runs, and answers every claimed waiter.
+func (e *entry) run() {
+	defer e.wg.Done()
+	for {
+		var first *pending
+		select {
+		case first = <-e.queue:
+		case <-e.quit:
+			return
+		}
+		// Opportunistically drain whatever else is queued right now; one
+		// pass groups it by kind.
+		batch := []*pending{first}
+	drain:
+		for {
+			select {
+			case p := <-e.queue:
+				batch = append(batch, p)
+			default:
+				break drain
+			}
+		}
+		var bfs, cc, pr []*pending
+		now := time.Now()
+		for _, p := range batch {
+			if !p.claim() {
+				continue // waiter expired; nothing owes it an answer
+			}
+			if now.After(p.expiry) {
+				p.finish(nil, ErrDeadline)
+				continue
+			}
+			switch p.q.Kind {
+			case "bfs":
+				bfs = append(bfs, p)
+			case "cc":
+				cc = append(cc, p)
+			case "pagerank":
+				pr = append(pr, p)
+			}
+		}
+		e.serveCC(cc)
+		e.servePR(pr)
+		e.serveBFS(bfs)
+	}
+}
+
+// acquireRun takes a cross-entry run slot on behalf of the claimed waiters
+// in *ps. While the slot is contended it sweeps them: expired waiters are
+// answered ErrDeadline instead of holding a doomed reservation, and eviction
+// answers everyone ErrEvicted. Returns false — without the slot — when no
+// waiter is left to run for.
+func (e *entry) acquireRun(ps *[]*pending) bool {
+	for {
+		select {
+		case e.srv.runSem <- struct{}{}:
+			*ps = finishExpired(*ps)
+			if len(*ps) == 0 {
+				e.releaseRun()
+				return false
+			}
+			return true
+		case <-time.After(5 * time.Millisecond):
+			*ps = finishExpired(*ps)
+			if len(*ps) == 0 {
+				return false
+			}
+		case <-e.quit:
+			for _, p := range *ps {
+				p.finish(nil, ErrEvicted)
+			}
+			*ps = nil
+			return false
+		}
+	}
+}
+
+func (e *entry) releaseRun() { <-e.srv.runSem }
+
+// finishExpired answers deadline-passed waiters and returns the live rest.
+func finishExpired(ps []*pending) []*pending {
+	now := time.Now()
+	live := ps[:0]
+	for _, p := range ps {
+		if now.After(p.expiry) {
+			p.finish(nil, ErrDeadline)
+			continue
+		}
+		live = append(live, p)
+	}
+	return live
+}
+
+func (e *entry) serveCC(ps []*pending) {
+	if len(ps) == 0 {
+		return
+	}
+	e.memoMu.Lock()
+	res := e.ccRes
+	e.memoMu.Unlock()
+	if res == nil {
+		if !e.acquireRun(&ps) {
+			return
+		}
+		ok := e.cc.Run()
+		e.releaseRun()
+		e.srv.ctr.runs.Add(1)
+		if !ok {
+			for _, p := range ps {
+				p.finish(nil, ErrRunFailed)
+			}
+			return
+		}
+		labels := e.cc.Output()
+		comp := map[uint64]struct{}{}
+		var sum uint64
+		for _, l := range labels {
+			comp[l] = struct{}{}
+			sum += l * 31
+		}
+		res = &Result{Kind: "cc", N: e.g.N, Checksum: sum, Extra: uint64(len(comp))}
+		e.memoMu.Lock()
+		e.ccRes = res
+		e.memoMu.Unlock()
+	}
+	e.srv.ctr.runQueries.Add(int64(len(ps)))
+	for _, p := range ps {
+		r := *res
+		r.Batched = len(ps)
+		p.finish(&r, nil)
+	}
+}
+
+func (e *entry) servePR(ps []*pending) {
+	if len(ps) == 0 {
+		return
+	}
+	e.memoMu.Lock()
+	res := e.prRes
+	e.memoMu.Unlock()
+	if res == nil {
+		if !e.acquireRun(&ps) {
+			return
+		}
+		ok := e.pr.Run()
+		e.releaseRun()
+		e.srv.ctr.runs.Add(1)
+		if !ok {
+			for _, p := range ps {
+				p.finish(nil, ErrRunFailed)
+			}
+			return
+		}
+		ranks := e.pr.Output()
+		var sum uint64
+		for _, r := range ranks {
+			sum = sum*31 + r
+		}
+		res = &Result{Kind: "pagerank", N: e.g.N, Checksum: sum,
+			Extra: uint64(e.srv.cfg.PageRankIters)}
+		e.memoMu.Lock()
+		e.prRes = res
+		e.memoMu.Unlock()
+	}
+	e.srv.ctr.runQueries.Add(int64(len(ps)))
+	for _, p := range ps {
+		r := *res
+		r.Batched = len(ps)
+		p.finish(&r, nil)
+	}
+}
+
+func (e *entry) serveBFS(ps []*pending) {
+	for len(ps) > 0 {
+		if !e.acquireRun(&ps) {
+			return
+		}
+		// Distinct sources for this run, capped at the batch width;
+		// duplicates ride along, and leftovers loop for the next run.
+		srcSet := make(map[int]int) // source -> slot
+		var sources []int
+		var runPs, rest []*pending
+		for _, p := range ps {
+			if _, ok := srcSet[p.q.Source]; !ok {
+				if len(sources) == e.ms.KMax() {
+					rest = append(rest, p)
+					continue
+				}
+				srcSet[p.q.Source] = len(sources)
+				sources = append(sources, p.q.Source)
+			}
+			runPs = append(runPs, p)
+		}
+		ps = rest
+
+		ok, err := e.ms.RunBatch(sources)
+		e.releaseRun()
+		e.srv.ctr.runs.Add(1)
+		if err == nil && !ok {
+			err = ErrRunFailed
+		}
+		if err != nil {
+			for _, p := range runPs {
+				p.finish(nil, err)
+			}
+			continue
+		}
+		rows := make(map[int]*Result, len(sources))
+		for i, src := range sources {
+			rows[src] = summarizeBFS(src, e.ms.Levels(i))
+		}
+		e.memoMu.Lock()
+		for src, res := range rows {
+			e.rememberBFS(src, res)
+		}
+		e.memoMu.Unlock()
+		e.srv.ctr.runQueries.Add(int64(len(runPs)))
+		for _, p := range runPs {
+			r := *rows[p.q.Source]
+			r.Batched = len(runPs)
+			p.finish(&r, nil)
+		}
+	}
+}
+
+// rememberBFS memoizes one BFS answer (caller holds memoMu).
+func (e *entry) rememberBFS(src int, res *Result) {
+	if el, ok := e.levels[src]; ok {
+		e.lvlLRU.MoveToFront(el)
+		el.Value.(*lvlEntry).res = res
+		return
+	}
+	e.levels[src] = e.lvlLRU.PushFront(&lvlEntry{source: src, res: res})
+	for e.lvlLRU.Len() > e.srv.cfg.LevelCacheEntries {
+		back := e.lvlLRU.Back()
+		e.lvlLRU.Remove(back)
+		delete(e.levels, back.Value.(*lvlEntry).source)
+	}
+}
+
+// summarizeBFS reduces a level row to the wire summary.
+func summarizeBFS(src int, lv []uint64) *Result {
+	const inf = ^uint64(0)
+	reached := 0
+	var maxL, sum uint64
+	for _, l := range lv {
+		if l == inf {
+			continue
+		}
+		reached++
+		if l > maxL {
+			maxL = l
+		}
+		sum = sum*31 + l + 1
+	}
+	return &Result{Kind: "bfs", Source: src, N: len(lv),
+		Reached: reached, MaxLevel: maxL, Checksum: sum}
+}

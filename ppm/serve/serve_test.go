@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig keeps graphs tiny so the suite stays fast on small machines.
+func testConfig() Config {
+	cfg := Default()
+	cfg.Procs = 2
+	cfg.MemWords = 1 << 21
+	cfg.MaxBatch = 4
+	cfg.PageRankIters = 3
+	cfg.DefaultDeadline = 30 * time.Second
+	return cfg
+}
+
+func smallGraph(seed uint64) GraphSpec {
+	return GraphSpec{Kind: "rand", N: 200, M: 400, Seed: seed}
+}
+
+func TestServeBFSAndMemoizedKinds(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	g := smallGraph(1)
+
+	r1, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0})
+	if err != nil {
+		t.Fatalf("bfs: %v", err)
+	}
+	if r1.N != 200 || r1.Reached < 1 || r1.Cached {
+		t.Fatalf("bfs result = %+v", r1)
+	}
+	// Same source again: served from the level cache, no run.
+	r2, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0})
+	if err != nil {
+		t.Fatalf("bfs repeat: %v", err)
+	}
+	if !r2.Cached || r2.Checksum != r1.Checksum {
+		t.Fatalf("repeat not served from cache: %+v vs %+v", r2, r1)
+	}
+
+	// cc and pagerank memoize per graph residency.
+	c1, err := s.Submit(Query{Graph: g, Kind: "cc"})
+	if err != nil {
+		t.Fatalf("cc: %v", err)
+	}
+	if c1.Extra == 0 {
+		t.Fatalf("cc reported zero components: %+v", c1)
+	}
+	c2, err := s.Submit(Query{Graph: g, Kind: "cc"})
+	if err != nil {
+		t.Fatalf("cc repeat: %v", err)
+	}
+	if !c2.Cached || c2.Checksum != c1.Checksum || c2.Extra != c1.Extra {
+		t.Fatalf("cc memo mismatch: %+v vs %+v", c2, c1)
+	}
+	p1, err := s.Submit(Query{Graph: g, Kind: "pagerank"})
+	if err != nil {
+		t.Fatalf("pagerank: %v", err)
+	}
+	p2, err := s.Submit(Query{Graph: g, Kind: "pagerank"})
+	if err != nil {
+		t.Fatalf("pagerank repeat: %v", err)
+	}
+	if !p2.Cached || p2.Checksum != p1.Checksum {
+		t.Fatalf("pagerank memo mismatch: %+v vs %+v", p2, p1)
+	}
+
+	st := s.Stats()
+	if st.CacheHits < 3 {
+		t.Fatalf("expected >=3 cache hits, stats = %+v", st)
+	}
+	if st.Runs != 3 { // one bfs run, one cc run, one pagerank run
+		t.Fatalf("expected exactly 3 runs, stats = %+v", st)
+	}
+}
+
+func TestServeRejectsBadQueries(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	g := smallGraph(2)
+	if _, err := s.Submit(Query{Graph: g, Kind: "sssp"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 10_000}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	bad := GraphSpec{Kind: "torus", N: 10, M: 10, Seed: 1}
+	if _, err := s.Submit(Query{Graph: bad, Kind: "bfs"}); err == nil {
+		t.Fatal("unknown graph kind accepted")
+	}
+}
+
+func TestGraphCacheEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxGraphs = 2
+	s := New(cfg)
+	defer s.Close()
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := s.Submit(Query{Graph: smallGraph(seed), Kind: "bfs", Source: 0}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	// Graph 1 was least recently used when graph 3 arrived.
+	got := s.Graphs()
+	if len(got) != 2 || got[0] != smallGraph(3).Key() || got[1] != smallGraph(2).Key() {
+		t.Fatalf("resident graphs = %v", got)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.GraphsBuilt != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction / 3 builds", st)
+	}
+
+	// The evicted graph re-admits cleanly: a fresh entry, not stale state.
+	r, err := s.Submit(Query{Graph: smallGraph(1), Kind: "bfs", Source: 0})
+	if err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+	if r.Cached {
+		t.Fatal("evicted graph served from a cache that should be gone")
+	}
+	if st := s.Stats(); st.Evictions != 2 || st.GraphsBuilt != 4 {
+		t.Fatalf("stats after re-admit = %+v", st)
+	}
+}
+
+func TestDeadlineExpiredQuery(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	g := smallGraph(4)
+	// Warm the entry so the deadline race is against the queue, not the build.
+	if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	// Hold the run slot so a non-memoized query cannot execute, then submit
+	// one with a deadline far shorter than the hold.
+	s.runSem <- struct{}{}
+	release := time.AfterFunc(300*time.Millisecond, func() { <-s.runSem })
+	defer release.Stop()
+	_, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 1, DeadlineMS: 30})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("blocked query error = %v, want ErrDeadline", err)
+	}
+	if st := s.Stats(); st.Shed503 == 0 {
+		t.Fatalf("deadline shed not counted: %+v", st)
+	}
+}
+
+func TestOverloadSheds429(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxQueue = 4
+	s := New(cfg)
+	defer s.Close()
+	g := smallGraph(5)
+	if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	// Plug the run slot so submissions pile up against MaxQueue.
+	s.runSem <- struct{}{}
+	defer func() { <-s.runSem }()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 1 + i, DeadlineMS: 200})
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	shed := 0
+	for err := range errs {
+		if errors.Is(err, ErrOverloaded) {
+			shed++
+		} else if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("unexpected error under overload: %v", err)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no 429s: admission control did not engage")
+	}
+	if st := s.Stats(); st.Shed429 != int64(shed) {
+		t.Fatalf("Shed429 = %d, want %d", st.Shed429, shed)
+	}
+}
+
+func TestBFSBatchingCoalesces(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 8
+	s := New(cfg)
+	defer s.Close()
+	g := smallGraph(6)
+	if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	// Hold the run slot while distinct-source queries queue up, so releasing
+	// it lets the runner drain them as batches.
+	s.runSem <- struct{}{}
+	var wg sync.WaitGroup
+	results := make(chan *Result, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 1 + i})
+			if err != nil {
+				t.Errorf("source %d: %v", 1+i, err)
+				return
+			}
+			results <- r
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let them all reach the queue
+	<-s.runSem
+	wg.Wait()
+	close(results)
+	maxBatched := 0
+	for r := range results {
+		if r.Batched > maxBatched {
+			maxBatched = r.Batched
+		}
+	}
+	if maxBatched < 2 {
+		t.Fatalf("no coalescing observed: max batched = %d", maxBatched)
+	}
+	st := s.Stats()
+	if st.CoalesceRatio < 1.5 {
+		t.Fatalf("coalesce ratio %.2f too low: %+v", st.CoalesceRatio, st)
+	}
+}
+
+func TestConcurrentFirstQueriesShareOneBuild(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	g := smallGraph(10)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: i}); err != nil {
+				t.Errorf("query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.GraphsBuilt != 1 {
+		t.Fatalf("burst of first queries built %d runtimes, want 1", st.GraphsBuilt)
+	}
+}
+
+func TestServerCloseRefusesQueries(t *testing.T) {
+	s := New(testConfig())
+	g := smallGraph(7)
+	if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: 0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if len(s.Graphs()) != 0 {
+		t.Fatal("graphs survived Close")
+	}
+}
+
+// TestHTTPMixedBurst fires 100 mixed queries at a live server through the
+// HTTP layer; run under -race it doubles as the concurrency check for the
+// whole submit/batch/memoize path.
+func TestHTTPMixedBurst(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 8
+	s := New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	g := smallGraph(8)
+	kinds := []string{"bfs", "bfs", "bfs", "cc", "pagerank"}
+	var wg sync.WaitGroup
+	codes := make(chan int, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := Query{Graph: g, Kind: kinds[i%len(kinds)], Source: i % 16}
+			body, _ := json.Marshal(q)
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var r Result
+				if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+					t.Errorf("query %d: bad result body: %v", i, err)
+				}
+			}
+			codes <- resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	close(codes)
+	ok := 0
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// legitimate sheds under burst
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no query succeeded")
+	}
+
+	// The other endpoints answer over the same burst-warmed server.
+	for _, path := range []string{"/graphs", "/statsz", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	var st Stats
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.Answered == 0 || st.Runs == 0 {
+		t.Fatalf("burst left no trace in stats: %+v", st)
+	}
+	t.Logf("burst stats: %+v", st)
+}
+
+// TestResultsMatchAcrossBatches checks that a source answered inside a batch
+// equals the same source answered alone — the coalesced program computes the
+// same BFS the solo one does.
+func TestResultsMatchAcrossBatches(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 4
+	cfg.LevelCacheEntries = 1 // force re-runs so the comparison crosses runs
+	s := New(cfg)
+	defer s.Close()
+	g := smallGraph(9)
+
+	solo := map[int]uint64{}
+	for src := 0; src < 4; src++ {
+		r, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: src})
+		if err != nil {
+			t.Fatalf("solo %d: %v", src, err)
+		}
+		solo[src] = r.Checksum
+	}
+	// Now batched: hold the slot, queue all four, release.
+	s.runSem <- struct{}{}
+	var wg sync.WaitGroup
+	for src := 0; src < 4; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			r, err := s.Submit(Query{Graph: g, Kind: "bfs", Source: src})
+			if err != nil {
+				t.Errorf("batched %d: %v", src, err)
+				return
+			}
+			if r.Checksum != solo[src] {
+				t.Errorf("source %d: batched checksum %d != solo %d", src, r.Checksum, solo[src])
+			}
+		}(src)
+	}
+	time.Sleep(100 * time.Millisecond)
+	<-s.runSem
+	wg.Wait()
+}
+
+func ExampleGraphSpec_Key() {
+	fmt.Println(GraphSpec{Kind: "rand", N: 100000, M: 200000, Seed: 42}.Key())
+	// Output: rand:n100000:m200000:s42
+}
