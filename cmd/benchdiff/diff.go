@@ -42,12 +42,26 @@ type Row struct {
 	Coalesce float64 `json:"coalesce"`
 	Queries  int64   `json:"queries"`
 	Failed   int64   `json:"failed"`
+	// Fault-sweep columns (ppmbench's fault experiment; absent in older
+	// artifacts), checked by CheckFaultOverhead: the injected rate, the
+	// largest capsule work C the f < 1/(2C) precondition is judged by, and
+	// the recorded wall ratio against the f = 0 row.
+	FaultRate      float64 `json:"fault_rate"`
+	SoftFaults     int64   `json:"soft_faults"`
+	Restarts       int64   `json:"restarts"`
+	MaxCapsWork    int64   `json:"max_caps_work"`
+	ReplayOverhead float64 `json:"replay_overhead"`
 }
 
 // key identifies a row across runs: same experiment, workload, engine, and
-// problem configuration.
+// problem configuration — including the fault rate, so one workload's sweep
+// rows stay distinct.
 func (r Row) key() string {
-	return fmt.Sprintf("%s/%s/%s/n=%d/P=%d", r.Exp, r.Workload, r.Engine, r.N, r.P)
+	k := fmt.Sprintf("%s/%s/%s/n=%d/P=%d", r.Exp, r.Workload, r.Engine, r.N, r.P)
+	if r.FaultRate > 0 {
+		k += fmt.Sprintf("/f=%g", r.FaultRate)
+	}
+	return k
 }
 
 // loadRows parses one ppmbench -json file.
@@ -94,9 +108,15 @@ func (f Finding) String() string {
 // that stopped verifying is always fatal.
 func Compare(old, cur []Row, opt Options) []Finding {
 	prev := make(map[string]Row, len(old))
+	oldHasFault := false
 	for _, r := range old {
 		prev[r.key()] = r
+		oldHasFault = oldHasFault || r.FaultRate > 0
 	}
+	// A previous artifact written before the fault sweep existed has no
+	// fault rows at all; the sweep's rows soft-pass as one summary note
+	// instead of a wall of per-row "new row" notes.
+	faultSoftPass := 0
 	var out []Finding
 	seen := make(map[string]bool, len(cur))
 	for _, r := range cur {
@@ -107,6 +127,10 @@ func Compare(old, cur []Row, opt Options) []Finding {
 		}
 		o, ok := prev[r.key()]
 		if !ok {
+			if r.FaultRate > 0 && !oldHasFault && len(old) > 0 {
+				faultSoftPass++
+				continue
+			}
 			out = append(out, Finding{r.key(), "new row (no previous measurement)", false})
 			continue
 		}
@@ -133,6 +157,67 @@ func Compare(old, cur []Row, opt Options) []Finding {
 		if !seen[r.key()] {
 			out = append(out, Finding{r.key(), "row disappeared from the current run", false})
 		}
+	}
+	if faultSoftPass > 0 {
+		out = append(out, Finding{"fault",
+			fmt.Sprintf("previous artifact predates fault columns; %d fault rows soft-pass as new", faultSoftPass), false})
+	}
+	return out
+}
+
+// CheckFaultOverhead gates the fault sweep's replay cost: every fault row
+// whose rate satisfies the theorem's precondition (2fC < 1, with C the
+// row's recorded max capsule work) must keep its wall time within ceiling ×
+// the matching f = 0 row of the same file. Rows outside the precondition
+// are reported as notes — the theorem promises nothing there, so neither
+// does the gate. No fault rows at all is fatal: a requested gate that
+// checked nothing is a broken gate (same rule as CheckAnchors).
+func CheckFaultOverhead(rows []Row, ceiling float64) []Finding {
+	type baseKey struct {
+		workload string
+		engine   string
+		n, p     int
+	}
+	base := map[baseKey]Row{}
+	for _, r := range rows {
+		if r.Exp == "fault" && r.FaultRate == 0 && r.Verified && r.WallMS > 0 {
+			base[baseKey{r.Workload, r.Engine, r.N, r.P}] = r
+		}
+	}
+	var out []Finding
+	checked := 0
+	for _, r := range rows {
+		if r.Exp != "fault" || r.FaultRate <= 0 {
+			continue
+		}
+		checked++
+		if !r.Verified {
+			out = append(out, Finding{r.key(), "fault row does not verify", true})
+			continue
+		}
+		b, ok := base[baseKey{r.Workload, r.Engine, r.N, r.P}]
+		if !ok {
+			out = append(out, Finding{r.key(), "no f=0 base row to compare against", true})
+			continue
+		}
+		ratio := r.WallMS / b.WallMS
+		twoFC := 2 * r.FaultRate * float64(r.MaxCapsWork)
+		if twoFC >= 1 {
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("outside the f < 1/(2C) precondition (2fC = %.2f); overhead %.2fx not gated", twoFC, ratio), false})
+			continue
+		}
+		if ratio > ceiling {
+			out = append(out, Finding{r.key(),
+				fmt.Sprintf("replay overhead %.2fx above the %.1fx ceiling (%d faults, %d replays)",
+					ratio, ceiling, r.SoftFaults, r.Restarts), true})
+			continue
+		}
+		out = append(out, Finding{r.key(),
+			fmt.Sprintf("replay overhead %.2fx (ceiling %.1fx, 2fC = %.3f)", ratio, ceiling, twoFC), false})
+	}
+	if checked == 0 {
+		out = append(out, Finding{"fault", "no fault rows to gate", true})
 	}
 	return out
 }

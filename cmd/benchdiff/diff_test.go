@@ -283,3 +283,100 @@ func TestCheckSchedIgnoresServeRows(t *testing.T) {
 		t.Fatalf("serve rows must not trip the sched gate, got %v", fs)
 	}
 }
+
+// faultRow builds one fault-sweep row; rate 0 is a base row.
+func faultRow(workload string, rate, wall float64, maxC int64, verified bool) Row {
+	r := row("fault", workload, "native", 65536, 8, wall, verified)
+	r.FaultRate = rate
+	r.MaxCapsWork = maxC
+	return r
+}
+
+func TestKeyIncludesFaultRate(t *testing.T) {
+	a := faultRow("bfs", 0, 1, 1024, true)
+	b := faultRow("bfs", 1e-5, 1, 1024, true)
+	c := faultRow("bfs", 1e-4, 1, 1024, true)
+	if a.key() == b.key() || b.key() == c.key() {
+		t.Fatalf("sweep rows must not collide: %q %q %q", a.key(), b.key(), c.key())
+	}
+	if strings.Contains(a.key(), "f=") {
+		t.Fatalf("f=0 row must keep the legacy key, got %q", a.key())
+	}
+}
+
+func TestCheckFaultOverheadGate(t *testing.T) {
+	rows := []Row{
+		faultRow("bfs", 0, 10, 1024, true),
+		faultRow("bfs", 1e-5, 12, 1024, true), // 1.2x, within ceiling
+		faultRow("bfs", 1e-4, 40, 1024, true), // 4x, over ceiling, 2fC ~ 0.2
+	}
+	fs := CheckFaultOverhead(rows, 3)
+	ft := fatals(fs)
+	if len(ft) != 1 || !strings.Contains(ft[0].Detail, "above the 3.0x ceiling") {
+		t.Fatalf("want exactly the 4x row fatal, got %v", fs)
+	}
+}
+
+func TestCheckFaultOverheadPreconditionExempt(t *testing.T) {
+	// 2fC = 2*1e-3*1024 > 1: the theorem promises nothing, so a blown
+	// overhead is a note, not a failure.
+	rows := []Row{
+		faultRow("bfs", 0, 10, 1024, true),
+		faultRow("bfs", 1e-3, 100, 1024, true),
+	}
+	fs := CheckFaultOverhead(rows, 3)
+	if len(fatals(fs)) != 0 {
+		t.Fatalf("rows outside the precondition must not fail: %v", fs)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "precondition") {
+		t.Fatalf("want one precondition note, got %v", fs)
+	}
+}
+
+func TestCheckFaultOverheadMissingRows(t *testing.T) {
+	// A requested gate with nothing to check is a broken gate.
+	if fs := fatals(CheckFaultOverhead([]Row{row("cat", "bfs", "native", 4096, 2, 1, true)}, 3)); len(fs) != 1 {
+		t.Fatalf("no fault rows must be fatal, got %v", fs)
+	}
+	// A sweep row without its f=0 base is equally unanchorable.
+	fs := fatals(CheckFaultOverhead([]Row{faultRow("bfs", 1e-5, 12, 1024, true)}, 3))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "base row") {
+		t.Fatalf("missing base row must be fatal, got %v", fs)
+	}
+}
+
+func TestCompareFaultSoftPass(t *testing.T) {
+	// The previous artifact predates the fault sweep entirely: its absence
+	// must soft-pass as one summary note, not fail, and not spam per-row
+	// new-row notes.
+	old := []Row{row("cat", "mergesort", "native", 100000, 8, 10.0, true)}
+	cur := []Row{
+		row("cat", "mergesort", "native", 100000, 8, 11.0, true),
+		faultRow("bfs", 0, 10, 1024, true),
+		faultRow("bfs", 1e-5, 12, 1024, true),
+		faultRow("bfs", 1e-4, 13, 1024, true),
+	}
+	fs := Compare(old, cur, Options{Threshold: 1.5, MinWallMS: 1})
+	if len(fatals(fs)) != 0 {
+		t.Fatalf("fault rows vs a pre-fault artifact must not fail: %v", fs)
+	}
+	var summary, perRow int
+	for _, f := range fs {
+		if strings.Contains(f.Detail, "predates fault columns") {
+			summary++
+		}
+		if strings.Contains(f.Key, "f=") {
+			perRow++
+		}
+	}
+	if summary != 1 || perRow != 0 {
+		t.Fatalf("want one summary note and no per-row fault notes, got %v", fs)
+	}
+	// Once both sides carry fault rows, normal row diffing applies.
+	old2 := append(old, faultRow("bfs", 1e-5, 10, 1024, true))
+	cur2 := []Row{row("cat", "mergesort", "native", 100000, 8, 11.0, true),
+		faultRow("bfs", 1e-5, 30, 1024, true)} // 3x regression
+	if fs := fatals(Compare(old2, cur2, Options{Threshold: 1.5, MinWallMS: 1})); len(fs) != 1 {
+		t.Fatalf("fault rows present on both sides must diff normally, got %v", fs)
+	}
+}

@@ -17,6 +17,7 @@ func main() {
 	serveQPS := flag.Float64("serve-qps-floor", 0, "require serve rows in -new to sustain at least this QPS")
 	serveP99 := flag.Float64("serve-p99-ceiling", 0, "require serve rows in -new to keep p99 under this many ms")
 	serveCoalesce := flag.Float64("serve-coalesce-floor", 0, "require serve rows in -new to coalesce at least this many queries per run")
+	faultCeiling := flag.Float64("fault-overhead-ceiling", 0, "require fault rows within the f<1/(2C) precondition to stay under this wall ratio vs their f=0 base row (0 = off)")
 	flag.Parse()
 	serveGate := ServeGate{QPSFloor: *serveQPS, P99CeilingMS: *serveP99, CoalesceFloor: *serveCoalesce}
 
@@ -44,12 +45,15 @@ func main() {
 	if serveGate.Enabled() {
 		findings = append(findings, CheckServe(cur, serveGate)...)
 	}
+	if *faultCeiling > 0 {
+		findings = append(findings, CheckFaultOverhead(cur, *faultCeiling)...)
+	}
 	switch {
 	case len(anchors) > 0:
 		findings = append(findings, CheckAnchors(cur, anchors)...)
-	case (*requireSched || serveGate.Enabled()) && *oldPath == "":
-		// -require-sched / serve anchors alone are complete checks; no
-		// diffing requested.
+	case (*requireSched || serveGate.Enabled() || *faultCeiling > 0) && *oldPath == "":
+		// -require-sched / serve / fault anchors alone are complete checks;
+		// no diffing requested.
 	default:
 		if *oldPath == "" {
 			fmt.Fprintln(os.Stderr, "benchdiff: need -old (row diff), -anchor (speedup check), or -require-sched")

@@ -46,6 +46,7 @@ var experiments = []struct {
 	{"a2", "Ablation: capsule granularity vs total work under faults", false, runA2},
 	{"a3", "Extension: asymmetric read/write costs (paper footnote 2)", false, runA3},
 	{"cat", "Engine split: full catalog on model vs native, wall time", true, runCat},
+	{"fault", "Native soft-fault emulation: replay overhead vs rate f (f < 1/(2C))", true, runFault},
 	{"bfs", "Graph: frontier BFS over CSR (levels + parent tree)", true, runBFS},
 	{"cc", "Graph: label-propagation connected components", true, runCC},
 	{"pagerank", "Graph: pull-style PageRank, bit-exact across engines", true, runPageRank},
@@ -84,6 +85,15 @@ type benchRecord struct {
 	LocalHits   int64 `json:"local_hits"`
 	RemoteFalls int64 `json:"remote_falls"`
 	Parks       int64 `json:"parks"`
+	// Fault-sweep columns (the fault experiment only; zero elsewhere and
+	// omitted from the JSON so older artifacts stay byte-stable): the
+	// injected rate, the faults drawn and capsule replays they caused, the
+	// largest capsule work C that the f < 1/(2C) precondition is checked
+	// against, and wall time relative to the same workload's f = 0 row.
+	FaultRate      float64 `json:"fault_rate,omitempty"`
+	SoftFaults     int64   `json:"soft_faults,omitempty"`
+	MaxCapsWork    int64   `json:"max_caps_work,omitempty"`
+	ReplayOverhead float64 `json:"replay_overhead,omitempty"`
 }
 
 // allocFields copies the native allocator counters into a record (model

@@ -44,6 +44,7 @@ func main() {
 		prIters    = flag.Int("pr-iters", 10, "PageRank iterations")
 		stealBatch = flag.Int("steal-batch", 0, "native steal batch (0 = default)")
 		seed       = flag.Uint64("seed", 42, "graph generation seed")
+		durableDir = flag.String("durable-dir", "", "back each resident graph with an mmap'd region file under this dir (empty = volatile)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		PageRankIters:     *prIters,
 		StealBatch:        *stealBatch,
 		Seed:              *seed,
+		DurableDir:        *durableDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,459 @@
+// Package durable maps a PPM word region onto a file so capsule effects
+// survive the process. The layout mirrors the paper's persistent-memory
+// contract: a small metadata prefix (run header, per-processor frontier
+// records, the root Seq chain) followed by the word memory itself, all in
+// one MAP_SHARED mapping so ordinary stores land in the page cache and an
+// msync drains them to the file.
+//
+// Flush discipline exposed to callers:
+//
+//   - Sync*(..., false) issues MS_ASYNC — schedule the span for writeback
+//     without blocking. Used for per-capsule frontier/span flushes where
+//     throughput matters and the kill(-9) failure model already preserves
+//     the page cache.
+//   - Sync*(..., true) issues MS_SYNC — block until the span is on stable
+//     storage. Used at run boundaries, phase commits, and Close, where the
+//     power-failure story requires a real barrier.
+//
+// All header, frontier, and chain words are accessed with atomics so
+// concurrent workers and the committing worker never race.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// File geometry. The header occupies one page; each worker owns a 512-byte
+// frontier record; the chain area holds up to chainCap recorded root-Seq
+// steps. The data region starts at the next page boundary.
+const (
+	headerBytes   = 4096
+	frontierBytes = 512
+	stepWords     = 20 // fid, nargs, args[16], 2 reserved
+	chainCap      = 256
+	maxArgs       = 16
+
+	regionMagic = 0x50504d5244555231 // "PPMRDUR1"
+)
+
+// Header word indices (within the first page viewed as uint64s).
+const (
+	hMagic = iota
+	hMemWords
+	hBlockWords
+	hP
+	hState
+	hRunSeq
+	hRootFid
+	hRootNArgs
+	hRootArgs0 // ..hRootArgs0+15
+	hChainLen  = hRootArgs0 + maxArgs
+	hCommitted = hChainLen + 1
+	hHeapHW    = hCommitted + 1
+	hSetupHW   = hHeapHW + 1
+	hPersist   = hSetupHW + 1
+	hFuncCount = hPersist + 1
+	hFuncHash  = hFuncCount + 1
+)
+
+// Run states recorded in the header.
+const (
+	StateNew     = 0 // created, no run started
+	StateRunning = 1 // a run began and has not committed completion
+	StateDone    = 2 // last run completed (or Close flushed a finished runtime)
+)
+
+const (
+	msAsync = 0x1 // MS_ASYNC
+	msSync  = 0x4 // MS_SYNC
+)
+
+// ChainStep is one recorded step of a root Seq chain.
+type ChainStep struct {
+	Fid  uint64
+	Args []uint64
+}
+
+// Region is an open mapping of a durable region file.
+type Region struct {
+	f       *os.File
+	data    []byte
+	hdr     []uint64 // header page
+	chain   []uint64 // chain area
+	words   []uint64 // the PPM word memory
+	dataOff int
+	frOff   int // frontier area byte offset
+	p       int
+	mem     int
+	block   int
+	closed  atomic.Bool
+}
+
+func layout(p, memWords int) (frOff, chainOff, dataOff, total int) {
+	page := syscall.Getpagesize()
+	frOff = headerBytes
+	chainOff = frOff + p*frontierBytes
+	meta := chainOff + chainCap*stepWords*8
+	dataOff = (meta + page - 1) / page * page
+	total = dataOff + memWords*8
+	total = (total + page - 1) / page * page
+	return
+}
+
+// Create makes (or truncates) the region file at path and maps it. The data
+// region starts zeroed, state StateNew.
+func Create(path string, p, memWords, blockWords int) (*Region, error) {
+	if p <= 0 || memWords <= 0 || blockWords <= 0 {
+		return nil, fmt.Errorf("durable: bad geometry p=%d memWords=%d blockWords=%d", p, memWords, blockWords)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	_, _, _, total := layout(p, memWords)
+	// Truncate twice so a reused path starts from a hole-backed zero file
+	// rather than inheriting stale words.
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Truncate(int64(total)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	r, err := mapRegion(f, p, memWords, blockWords)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	atomic.StoreUint64(&r.hdr[hMemWords], uint64(memWords))
+	atomic.StoreUint64(&r.hdr[hBlockWords], uint64(blockWords))
+	atomic.StoreUint64(&r.hdr[hP], uint64(p))
+	atomic.StoreUint64(&r.hdr[hState], StateNew)
+	// Magic last: a crash between Truncate and here leaves a file Open
+	// rejects instead of a half-initialized header it would trust.
+	atomic.StoreUint64(&r.hdr[hMagic], regionMagic)
+	r.SyncMeta(true)
+	return r, nil
+}
+
+// Open maps an existing region file, validating magic and size.
+func Open(path string) (*Region, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	var head [headerBytes]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: reading header: %w", err)
+	}
+	hw := unsafe.Slice((*uint64)(unsafe.Pointer(&head[0])), headerBytes/8)
+	if hw[hMagic] != regionMagic {
+		f.Close()
+		return nil, fmt.Errorf("durable: %s is not a PPM region file", path)
+	}
+	p := int(hw[hP])
+	memWords := int(hw[hMemWords])
+	blockWords := int(hw[hBlockWords])
+	if p <= 0 || p > 1<<16 || memWords <= 0 || blockWords <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("durable: %s has a corrupt header (p=%d memWords=%d blockWords=%d)", path, p, memWords, blockWords)
+	}
+	_, _, _, total := layout(p, memWords)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if st.Size() < int64(total) {
+		f.Close()
+		return nil, fmt.Errorf("durable: %s truncated (%d bytes, want %d)", path, st.Size(), total)
+	}
+	r, err := mapRegion(f, p, memWords, blockWords)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func mapRegion(f *os.File, p, memWords, blockWords int) (*Region, error) {
+	frOff, chainOff, dataOff, total := layout(p, memWords)
+	data, err := syscall.Mmap(int(f.Fd()), 0, total, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("durable: mmap: %w", err)
+	}
+	r := &Region{
+		f:       f,
+		data:    data,
+		hdr:     unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), headerBytes/8),
+		chain:   unsafe.Slice((*uint64)(unsafe.Pointer(&data[chainOff])), chainCap*stepWords),
+		words:   unsafe.Slice((*uint64)(unsafe.Pointer(&data[dataOff])), memWords),
+		dataOff: dataOff,
+		frOff:   frOff,
+		p:       p,
+		mem:     memWords,
+		block:   blockWords,
+	}
+	return r, nil
+}
+
+// Close flushes the whole mapping with MS_SYNC, unmaps it, and closes the
+// file. Safe to call more than once; only the first call does work.
+func (r *Region) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	r.msyncSpan(0, len(r.data), true)
+	data := r.data
+	r.data, r.hdr, r.chain, r.words = nil, nil, nil, nil
+	err := syscall.Munmap(data)
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Words returns the mapped PPM word memory.
+func (r *Region) Words() []uint64 { return r.words }
+
+// Geometry accessors.
+func (r *Region) P() int          { return r.p }
+func (r *Region) MemWords() int   { return r.mem }
+func (r *Region) BlockWords() int { return r.block }
+
+// msync schedules (async) or forces (sync) writeback of data[off:off+n],
+// widened to page boundaries as msync requires.
+func (r *Region) msync(off, n int, sync bool) {
+	if r.closed.Load() {
+		return
+	}
+	r.msyncSpan(off, n, sync)
+}
+
+// msyncSpan is msync without the closed guard, for Close's final flush.
+func (r *Region) msyncSpan(off, n int, sync bool) {
+	if n <= 0 {
+		return
+	}
+	page := syscall.Getpagesize()
+	a := off &^ (page - 1)
+	n += off - a
+	n = (n + page - 1) / page * page
+	if a+n > len(r.data) {
+		n = len(r.data) - a
+	}
+	flags := uintptr(msAsync)
+	if sync {
+		flags = msSync
+	}
+	addr := uintptr(unsafe.Pointer(&r.data[a]))
+	// Raw syscall: the stdlib has no msync wrapper and this module takes no
+	// dependencies. EINVAL here would mean a bookkeeping bug; writeback is
+	// advisory for the kill(-9) failure model, so errors are not fatal.
+	syscall.Syscall(syscall.SYS_MSYNC, addr, uintptr(n), flags)
+}
+
+// SyncWords flushes the word span [lo, hi) of the data region.
+func (r *Region) SyncWords(lo, hi int64, sync bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(r.mem) {
+		hi = int64(r.mem)
+	}
+	if hi <= lo {
+		return
+	}
+	r.msync(r.dataOff+int(lo)*8, int(hi-lo)*8, sync)
+}
+
+// SyncMeta flushes the header, frontier, and chain areas.
+func (r *Region) SyncMeta(sync bool) { r.msync(0, r.dataOff, sync) }
+
+// SyncAll flushes the entire mapping.
+func (r *Region) SyncAll(sync bool) { r.msync(0, len(r.data), sync) }
+
+// SyncFrontier flushes one worker's frontier record.
+func (r *Region) SyncFrontier(worker int, sync bool) {
+	r.msync(r.frOff+worker*frontierBytes, frontierBytes, sync)
+}
+
+// --- header accessors -------------------------------------------------------
+
+func (r *Region) get(i int) uint64    { return atomic.LoadUint64(&r.hdr[i]) }
+func (r *Region) set(i int, v uint64) { atomic.StoreUint64(&r.hdr[i], v) }
+
+// State/SetState track the run lifecycle (StateNew/Running/Done).
+func (r *Region) State() uint64     { return r.get(hState) }
+func (r *Region) SetState(s uint64) { r.set(hState, s) }
+
+// RunSeq counts runs begun against this region.
+func (r *Region) RunSeq() uint64 { return r.get(hRunSeq) }
+func (r *Region) BumpRunSeq()    { r.set(hRunSeq, r.get(hRunSeq)+1) }
+
+// SetRoot records the run's root capsule (closure id + args) so recovery can
+// restart the whole run when no chain step has committed.
+func (r *Region) SetRoot(fid uint64, args []uint64) {
+	r.set(hRootFid, fid)
+	n := len(args)
+	if n > maxArgs {
+		n = maxArgs
+	}
+	r.set(hRootNArgs, uint64(n))
+	for i := 0; i < n; i++ {
+		r.set(hRootArgs0+i, args[i])
+	}
+}
+
+// Root returns the recorded root capsule.
+func (r *Region) Root() (fid uint64, args []uint64) {
+	fid = r.get(hRootFid)
+	n := int(r.get(hRootNArgs))
+	if n > maxArgs {
+		n = maxArgs
+	}
+	args = make([]uint64, n)
+	for i := range args {
+		args[i] = r.get(hRootArgs0 + i)
+	}
+	return
+}
+
+// CommittedIdx is the number of leading root-chain steps whose effects are
+// durably committed (MS_SYNC'd before the index advanced).
+func (r *Region) CommittedIdx() int64     { return int64(r.get(hCommitted)) }
+func (r *Region) SetCommittedIdx(k int64) { r.set(hCommitted, uint64(k)) }
+
+// HeapHW is the durable heap high-water mark: every word below it has been
+// handed to some allocation, so a recovered runtime starts its bump pointer
+// here and never clobbers pre-crash effects.
+func (r *Region) HeapHW() int64 { return int64(r.get(hHeapHW)) }
+
+// RaiseHeapHW lifts HeapHW to at least hw (monotonic, CAS race-safe).
+func (r *Region) RaiseHeapHW(hw int64) {
+	for {
+		cur := r.get(hHeapHW)
+		if int64(cur) >= hw || atomic.CompareAndSwapUint64(&r.hdr[hHeapHW], cur, uint64(hw)) {
+			return
+		}
+	}
+}
+
+// SetupHW/SetSetupHW record the heap mark after the first run's setup
+// (Build) phase; recovery replays setup allocations below this line.
+func (r *Region) SetupHW() int64      { return int64(r.get(hSetupHW)) }
+func (r *Region) SetSetupHW(hw int64) { r.set(hSetupHW, uint64(hw)) }
+
+// PersistBase/SetPersistBase record where the per-worker epoch words live.
+func (r *Region) PersistBase() int64     { return int64(r.get(hPersist)) }
+func (r *Region) SetPersistBase(a int64) { r.set(hPersist, uint64(a)) }
+
+// SetFuncSig/FuncSig guard recovery against re-registering a different
+// program: count plus an order-sensitive hash of registered capsule names.
+func (r *Region) SetFuncSig(count, hash uint64) {
+	r.set(hFuncCount, count)
+	r.set(hFuncHash, hash)
+}
+func (r *Region) FuncSig() (count, hash uint64) { return r.get(hFuncCount), r.get(hFuncHash) }
+
+// --- frontier records -------------------------------------------------------
+
+// WriteFrontier publishes worker w's current capsule (epoch = its capsule
+// counter, closure id, args). Layout per record: epoch, fid, nargs, args[16].
+func (r *Region) WriteFrontier(worker int, epoch, fid uint64, args []uint64) {
+	rec := r.frontierRec(worker)
+	n := len(args)
+	if n > maxArgs {
+		n = maxArgs
+	}
+	atomic.StoreUint64(&rec[1], fid)
+	atomic.StoreUint64(&rec[2], uint64(n))
+	for i := 0; i < n; i++ {
+		atomic.StoreUint64(&rec[3+i], args[i])
+	}
+	// Epoch last: a torn record is detectable as epoch lagging the fields.
+	atomic.StoreUint64(&rec[0], epoch)
+}
+
+func (r *Region) frontierRec(worker int) []uint64 {
+	hw := unsafe.Slice((*uint64)(unsafe.Pointer(&r.data[r.frOff])), r.p*frontierBytes/8)
+	return hw[worker*frontierBytes/8 : (worker+1)*frontierBytes/8]
+}
+
+// Frontier reads worker w's last published record.
+func (r *Region) Frontier(worker int) (epoch, fid uint64, args []uint64) {
+	rec := r.frontierRec(worker)
+	epoch = atomic.LoadUint64(&rec[0])
+	fid = atomic.LoadUint64(&rec[1])
+	n := int(atomic.LoadUint64(&rec[2]))
+	if n > maxArgs {
+		n = maxArgs
+	}
+	args = make([]uint64, n)
+	for i := range args {
+		args[i] = atomic.LoadUint64(&rec[3+i])
+	}
+	return
+}
+
+// --- root chain -------------------------------------------------------------
+
+// RecordChain replaces the recorded root Seq chain. A driver that re-Seqs
+// each round overwrites the previous record (latest chain wins); the
+// committed index resets to 0 for the new chain. Chains longer than chainCap
+// or with oversized args clear the record instead — recovery then falls back
+// to restarting from the recorded root, which is always sound for WAR-free
+// programs.
+func (r *Region) RecordChain(steps []ChainStep) {
+	// Invalidate first so a crash mid-write leaves len=0, not a torn chain.
+	r.set(hChainLen, 0)
+	if len(steps) > chainCap {
+		return
+	}
+	for _, s := range steps {
+		if len(s.Args) > maxArgs {
+			return
+		}
+	}
+	for i, s := range steps {
+		w := r.chain[i*stepWords : (i+1)*stepWords]
+		atomic.StoreUint64(&w[0], s.Fid)
+		atomic.StoreUint64(&w[1], uint64(len(s.Args)))
+		for j, a := range s.Args {
+			atomic.StoreUint64(&w[2+j], a)
+		}
+	}
+	r.set(hCommitted, 0)
+	r.set(hChainLen, uint64(len(steps)))
+}
+
+// ChainSteps returns the recorded chain (nil if none).
+func (r *Region) ChainSteps() []ChainStep {
+	n := int(r.get(hChainLen))
+	if n <= 0 || n > chainCap {
+		return nil
+	}
+	out := make([]ChainStep, n)
+	for i := range out {
+		w := r.chain[i*stepWords : (i+1)*stepWords]
+		na := int(atomic.LoadUint64(&w[1]))
+		if na > maxArgs {
+			na = maxArgs
+		}
+		args := make([]uint64, na)
+		for j := range args {
+			args[j] = atomic.LoadUint64(&w[2+j])
+		}
+		out[i] = ChainStep{Fid: atomic.LoadUint64(&w[0]), Args: args}
+	}
+	return out
+}
+
+// ClearChain drops any recorded chain (new run beginning).
+func (r *Region) ClearChain() { r.set(hChainLen, 0) }

@@ -74,6 +74,15 @@ func (rt *Runtime) tryReserve(n int) (pmem.Addr, bool) {
 			return 0, false
 		}
 		if rt.heap.CompareAndSwap(cur, start+int64(n)) {
+			if reg := rt.region; reg != nil {
+				// Publish the raised high-water mark before the caller can
+				// write into the block: a recovered runtime restarts its bump
+				// pointer at the durable mark, so every address ever handed
+				// out must be at or below it. Async flush — SIGKILL keeps the
+				// page cache, and run/phase barriers MS_SYNC the header.
+				reg.RaiseHeapHW(start + int64(n))
+				reg.SyncMeta(false)
+			}
 			return pmem.Addr(start), true
 		}
 	}

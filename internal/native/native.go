@@ -3,12 +3,14 @@ package native
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/capsule"
+	"repro/internal/durable"
 	"repro/internal/pmem"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -63,6 +65,24 @@ type Config struct {
 	// committed write of the worker's capsule counter to a dedicated epoch
 	// word, the overhead the paper's native experiments measure (§7).
 	Persist bool
+	// DurablePath, when non-empty, backs the word memory with an mmap'd
+	// region file at this path (created fresh) and implies Persist: every
+	// persistence point additionally flushes the capsule's dirtied span and
+	// publishes a per-worker frontier record into the file, and run/phase
+	// boundaries commit with MS_SYNC. Recover reopens such a file.
+	DurablePath string
+	// FaultRate enables replay-based soft-fault emulation: each tracked
+	// memory access aborts the current capsule with this probability, and
+	// the scheduler re-runs the capsule from its start at hardware speed —
+	// the native counterpart of the model engine's fault injection, sound
+	// for WAR-free programs (Theorem 3.1) and how the f < 1/(2C) replay
+	// bound is measured natively. 0 disables.
+	FaultRate float64
+	// CrashAfterPersists, when > 0, SIGKILLs the process the moment the
+	// global persistence-point counter reaches this value. It exists for
+	// recovery drills: a subprocess harness sets it to a randomized point
+	// and the parent proves the durable file resumes to bit-exact output.
+	CrashAfterPersists int64
 	// WARCheck threads a warcheck.Tracker through every capsule boundary and
 	// memory operation: each worker tracks the block-granular access sequence
 	// of its current task and records write-after-read conflicts (the same
@@ -125,6 +145,19 @@ type task struct {
 	fn   capsule.FuncID
 	args []uint64
 	join *join
+
+	// chainTail marks the task at the tail of the run's root chain: the root
+	// itself, the LAST step of a Seq issued by a chainTail task, and Then
+	// continuations of either. Only a chainTail task's Seq records its steps
+	// durably (the driver-re-Seqs-each-round pattern: the new chain replaces
+	// the whole remaining spine). A middle step's Seq is a sub-chain — the
+	// steps after it live only in join cells, so recording it would lose
+	// them, and recovery would "complete" half a run.
+	chainTail bool
+	// phase k > 0 means this task is root-chain step k: every earlier step's
+	// entire subcomputation has completed when it starts, so the durable
+	// backend commits phase k (MS_SYNC + committed-index advance) there.
+	phase int32
 }
 
 // join is the last-arriver cell of a fork: when pending reaches zero the
@@ -158,6 +191,19 @@ type Runtime struct {
 
 	persistBase pmem.Addr // P block-spaced epoch words, when Persist is on
 
+	// Durable backend state. region is nil unless DurablePath was set or the
+	// runtime came from Recover. A recovered runtime starts in rebuild mode:
+	// harness writes are suppressed (the region already holds the durable
+	// state) and setup allocations replay from replayCur so Build reproduces
+	// the pre-crash addresses; Resume exits rebuild mode and re-executes the
+	// un-committed tail. persistCtr is the global persistence-point counter
+	// the CrashAfterPersists drill triggers on.
+	region     *durable.Region
+	recovered  bool
+	rebuild    atomic.Bool
+	replayCur  int64
+	persistCtr atomic.Int64
+
 	// Lifecycle. Workers are resident goroutines: the first Run starts them,
 	// they park on runCond between runs, and Close stops them and releases
 	// the region. runMu is held for the whole of a run (TryLock gives the
@@ -175,32 +221,84 @@ type Runtime struct {
 	wg       sync.WaitGroup
 }
 
-// New builds a native runtime.
+// New builds a native runtime. With Config.DurablePath set it creates the
+// backing region file; file-system failure there panics, since an engine
+// constructor has no error path and a mis-created durable region must not
+// silently degrade to volatile memory. Use Recover to reopen an existing
+// file.
 func New(cfg Config) *Runtime {
 	cfg.fill()
-	rt := &Runtime{
-		cfg:    cfg,
-		mem:    make([]uint64, cfg.MemWords),
-		funcs:  []func(*Ctx){nil}, // ID 0 reserved, as in capsule.Registry
-		names:  map[string]capsule.FuncID{},
-		fnames: []string{""},
+	var reg *durable.Region
+	if cfg.DurablePath != "" {
+		var err error
+		reg, err = durable.Create(cfg.DurablePath, cfg.P, cfg.MemWords, cfg.BlockWords)
+		if err != nil {
+			panic(fmt.Sprintf("native: durable region: %v", err))
+		}
 	}
-	rt.heap.Store(int64(cfg.BlockWords)) // word 0 reserved as Nil
+	return build(cfg, reg, false)
+}
+
+func build(cfg Config, reg *durable.Region, recovered bool) *Runtime {
+	if reg != nil {
+		cfg.Persist = true
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		funcs:     []func(*Ctx){nil}, // ID 0 reserved, as in capsule.Registry
+		names:     map[string]capsule.FuncID{},
+		fnames:    []string{""},
+		region:    reg,
+		recovered: recovered,
+	}
+	if reg != nil {
+		rt.mem = reg.Words()
+	} else {
+		rt.mem = make([]uint64, cfg.MemWords)
+	}
+	if recovered {
+		// Rebuild mode: Build-phase allocations replay deterministically from
+		// the bottom of the region while real (capsule-side) allocation
+		// resumes above the durable high-water mark, so nothing written
+		// before the crash can be clobbered or handed out again.
+		rt.rebuild.Store(true)
+		rt.replayCur = int64(cfg.BlockWords)
+		hw := reg.HeapHW()
+		if hw < int64(cfg.BlockWords) {
+			hw = int64(cfg.BlockWords)
+		}
+		rt.heap.Store(hw)
+	} else {
+		rt.heap.Store(int64(cfg.BlockWords)) // word 0 reserved as Nil
+	}
 	rt.shards = make([]shard, cfg.Shards)
 	if cfg.Persist {
 		rt.persistBase = rt.HeapAllocBlocks(cfg.P * cfg.BlockWords)
+		if reg != nil && !recovered {
+			reg.SetPersistBase(int64(rt.persistBase))
+		}
 	}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
 	sm := rng.NewSplitMix64(cfg.Seed ^ 0xa5a5a5a5deadbeef)
 	rt.workers = make([]*Ctx, cfg.P)
+	var faultThresh uint64
+	if cfg.FaultRate > 0 {
+		f := cfg.FaultRate
+		if f > 1 {
+			f = 1
+		}
+		faultThresh = uint64(f * float64(math.MaxUint64))
+	}
 	for p := 0; p < cfg.P; p++ {
 		rt.workers[p] = &Ctx{
-			rt:    rt,
-			id:    p,
-			shard: p % cfg.Shards,
-			dq:    newDeque(cfg.DequeCap),
-			rng:   rng.NewXoshiro256(sm.Next()),
-			war:   warcheck.New(cfg.WARCheck),
+			rt:          rt,
+			id:          p,
+			shard:       p % cfg.Shards,
+			dq:          newDeque(cfg.DequeCap),
+			rng:         rng.NewXoshiro256(sm.Next()),
+			war:         warcheck.New(cfg.WARCheck),
+			track:       reg != nil,
+			faultThresh: faultThresh,
 		}
 	}
 	for p := 0; p < cfg.P; p++ {
@@ -260,16 +358,38 @@ func (rt *Runtime) MemRead(a pmem.Addr) uint64 {
 	return atomic.LoadUint64(&rt.mem[a])
 }
 
-// MemWrite writes a word (harness-side).
+// MemWrite writes a word (harness-side). In rebuild mode (a recovered
+// runtime before Resume) the store is suppressed: the mmap'd region already
+// holds the durable bytes, and re-staging inputs must not clobber effects
+// the crashed run had already committed past.
 func (rt *Runtime) MemWrite(a pmem.Addr, v uint64) {
 	rt.check(a)
+	if rt.rebuild.Load() {
+		return
+	}
 	atomic.StoreUint64(&rt.mem[a], v)
 }
 
 // HeapAllocBlocks reserves n words starting at a block boundary. This is
 // the harness-side (setup-time) allocator and draws directly from the
 // global region; capsule-side Alloc goes through the per-shard segments.
+//
+// In rebuild mode the reservation replays against a private cursor instead
+// of the live bump pointer: the recovered Build phase must hand back the
+// exact pre-crash addresses (allocation order is deterministic) without
+// disturbing the real heap, which starts above the durable high-water mark.
 func (rt *Runtime) HeapAllocBlocks(n int) pmem.Addr {
+	if rt.rebuild.Load() {
+		b := int64(rt.cfg.BlockWords)
+		start := (rt.replayCur + b - 1) / b * b
+		if hw := rt.region.SetupHW(); start+int64(n) > hw {
+			panic(fmt.Sprintf(
+				"native: recovery setup allocation (%d words at %d) exceeds the recorded setup high-water mark %d; rebuild the same program with the same parameters",
+				n, start, hw))
+		}
+		rt.replayCur = start + int64(n)
+		return pmem.Addr(start)
+	}
 	return rt.reserve(n)
 }
 
@@ -324,12 +444,26 @@ func (rt *Runtime) TryRun(root capsule.FuncID, args ...uint64) (bool, error) {
 		// Close won the race for runMu and already tore the workers down.
 		return false, ErrClosed
 	}
+	if rt.rebuild.Load() {
+		// A recovered runtime still in rebuild mode has suppressed writes;
+		// running fresh work on it would compute against phantom inputs.
+		return false, errors.New("native: recovered runtime must Resume before running fresh work")
+	}
+	if rt.region != nil {
+		rt.beginDurableRun(root, args)
+	}
+	rootJoin := &join{}
+	rootJoin.pending.Store(1)
+	return rt.runLocked(&task{kind: taskUser, fn: root, args: args, join: rootJoin, chainTail: true})
+}
+
+// runLocked injects t as the run's root work and drives the resident workers
+// through one run generation. Callers hold runMu.
+func (rt *Runtime) runLocked(t *task) (bool, error) {
 	rt.ensureStarted()
 
 	rt.done.Store(false)
-	rootJoin := &join{}
-	rootJoin.pending.Store(1)
-	rt.inject(&task{kind: taskUser, fn: root, args: args, join: rootJoin})
+	rt.inject(t)
 
 	rt.active.Store(int32(rt.cfg.P))
 	done := make(chan struct{})
@@ -341,6 +475,9 @@ func (rt *Runtime) TryRun(root capsule.FuncID, args ...uint64) (bool, error) {
 	// The last worker to drain out of schedLoop closes done; the atomic
 	// decrement chain orders every worker's counters before our return.
 	<-done
+	if rt.region != nil {
+		rt.finishDurableRun()
+	}
 	return true, nil
 }
 
@@ -404,6 +541,15 @@ func (rt *Runtime) Close() error {
 	// entry is reclaimed at eviction, not at process exit.
 	rt.mem = nil
 	rt.shards = nil
+	if rt.region != nil {
+		// Workers are parked/stopped, so this is the single final flush:
+		// MS_SYNC the whole mapping, unmap, close the file. The Region's own
+		// once-latch makes a second Close (impossible here, but cheap to
+		// state) a no-op.
+		err := rt.region.Close()
+		rt.region = nil
+		return err
+	}
 	return nil
 }
 
@@ -455,6 +601,8 @@ func (rt *Runtime) Stats() stats.Summary {
 		out.Capsules += w.capsules
 		out.Steals += w.steals
 		out.StealTries += w.stealTries
+		out.SoftFaults += w.softFaults
+		out.Restarts += w.replays
 		if t > out.MaxProcWork {
 			out.MaxProcWork = t
 		}
@@ -466,11 +614,13 @@ func (rt *Runtime) Stats() stats.Summary {
 }
 
 // PersistPoints returns the total number of capsule-boundary persistence
-// points committed (0 unless Config.Persist).
+// points committed (0 unless Config.Persist). The per-worker counters are
+// atomic, so this is safe to call while a run is in flight — the serving
+// layer reports it live.
 func (rt *Runtime) PersistPoints() int64 {
 	var n int64
 	for _, w := range rt.workers {
-		n += w.persists
+		n += w.persists.Load()
 	}
 	return n
 }
@@ -514,8 +664,24 @@ type Ctx struct {
 	others    []int // victim ids in remote groups
 	localMiss int   // consecutive local sweeps that found nothing
 
+	// Durable-region bookkeeping (track is set iff the runtime has one):
+	// dirtyLo/dirtyHi bound the current capsule's writes so its persistence
+	// point flushes one span instead of the whole region.
+	track            bool
+	dirtyLo, dirtyHi pmem.Addr
+
+	// Soft-fault emulation (faultThresh is FaultRate scaled to uint64 space;
+	// 0 = off). transferred flips once the current body performs its control
+	// transfer: from then on an abort would risk re-running a capsule whose
+	// continuation already escaped, so no more faults are drawn — the model
+	// injects faults only up to the capsule's closing persist, same idea.
+	faultThresh uint64
+	transferred bool
+
 	// Counters are plain fields: each is touched only by the owning worker
-	// goroutine during a run and read by the harness after Wait.
+	// goroutine during a run and read by the harness after Wait. persists is
+	// atomic as the one exception — serving reads it live (/statsz) while
+	// runs are in flight.
 	reads, writes      int64
 	capsules           int64
 	steals, stealTries int64
@@ -523,7 +689,9 @@ type Ctx struct {
 	localHits          int64
 	remoteFalls        int64
 	parks              int64
-	persists           int64
+	persists           atomic.Int64
+	softFaults         int64
+	replays            int64
 	taskWork           int64
 	maxTaskWork        int64
 }
@@ -631,32 +799,119 @@ func (w *Ctx) execute(t *task) {
 	for t != nil {
 		w.cur, w.next = t, nil
 		w.capsules++
-		w.taskWork = 0
-		if w.war.Enabled() {
-			w.war.Reset() // a task is a capsule: conflicts are intra-task
+		if t.phase > 0 {
+			// Step k of the root chain starts only after steps 0..k-1 — and
+			// everything they forked — completed, so the phase boundary is
+			// quiescent and safe to commit durably.
+			w.rt.commitPhase(int64(t.phase))
 		}
-		switch t.kind {
-		case taskUser:
-			w.rt.funcs[t.fn](w)
-		case taskPfor:
-			w.runPfor(t)
-		case taskNop:
-			w.Done()
-		}
-		if w.war.Enabled() {
-			w.noteWARs(t)
-		}
+		w.runTask(t)
 		if w.taskWork > w.maxTaskWork {
 			w.maxTaskWork = w.taskWork
 		}
 		if w.rt.cfg.Persist {
-			w.persists++
-			atomic.StoreUint64(
-				&w.rt.mem[w.rt.persistBase+pmem.Addr(w.id*w.rt.cfg.BlockWords)],
-				uint64(w.capsules))
-			w.writes++
+			w.persistPoint(t)
 		}
 		t = w.next
+	}
+}
+
+// runTask runs one task body, replaying it from the start whenever soft-fault
+// emulation aborts it (sound for WAR-free capsules, Theorem 3.1). Ephemeral
+// state is the body's locals, which the abort discards — exactly the model's
+// failure semantics, at hardware speed.
+func (w *Ctx) runTask(t *task) {
+	for {
+		w.taskWork = 0
+		w.transferred = false
+		if w.track {
+			w.dirtyLo, w.dirtyHi = 0, 0
+		}
+		if w.war.Enabled() {
+			w.war.Reset() // a task is a capsule: conflicts are intra-task
+		}
+		if w.faultThresh != 0 {
+			if w.attempt(t) {
+				w.replays++
+				continue
+			}
+		} else {
+			w.body(t)
+		}
+		if w.war.Enabled() {
+			w.noteWARs(t)
+		}
+		return
+	}
+}
+
+func (w *Ctx) body(t *task) {
+	switch t.kind {
+	case taskUser:
+		w.rt.funcs[t.fn](w)
+	case taskPfor:
+		w.runPfor(t)
+	case taskNop:
+		w.Done()
+	}
+}
+
+// attempt runs the body under a recover barrier that catches only the
+// injected soft-fault sentinel; real panics propagate.
+func (w *Ctx) attempt(t *task) (faulted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errSoftFault {
+				faulted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	w.body(t)
+	return false
+}
+
+// persistPoint commits the capsule boundary: the epoch word always, and on a
+// durable region also the capsule's dirtied span followed by the worker's
+// frontier record — data before frontier, so a persisted frontier never
+// claims effects the file does not yet hold. Both flushes are MS_ASYNC (the
+// kill(-9) failure model keeps the page cache); phase and run boundaries add
+// the MS_SYNC barrier.
+func (w *Ctx) persistPoint(t *task) {
+	w.persists.Add(1)
+	epochAddr := w.rt.persistBase + pmem.Addr(w.id*w.rt.cfg.BlockWords)
+	atomic.StoreUint64(&w.rt.mem[epochAddr], uint64(w.capsules))
+	w.writes++
+	if reg := w.rt.region; reg != nil {
+		lo, hi := w.dirtyLo, w.dirtyHi
+		if hi == 0 || epochAddr < lo {
+			lo = epochAddr
+		}
+		if epochAddr+1 > hi {
+			hi = epochAddr + 1
+		}
+		reg.SyncWords(int64(lo), int64(hi), false)
+		reg.WriteFrontier(w.id, uint64(w.capsules), uint64(t.fn), t.args)
+		reg.SyncFrontier(w.id, false)
+	}
+	if c := w.rt.cfg.CrashAfterPersists; c > 0 && w.rt.persistCtr.Add(1) >= c {
+		crashNow()
+	}
+}
+
+// dirty widens the current capsule's dirty bounding box to cover [lo, hi).
+// Callers guard with w.track.
+func (w *Ctx) dirty(lo, hi pmem.Addr) {
+	if w.dirtyHi == 0 {
+		w.dirtyLo, w.dirtyHi = lo, hi
+		return
+	}
+	if lo < w.dirtyLo {
+		w.dirtyLo = lo
+	}
+	if hi > w.dirtyHi {
+		w.dirtyHi = hi
 	}
 }
 
@@ -764,6 +1019,9 @@ func (w *Ctx) Read(a pmem.Addr) uint64 {
 	w.rt.check(a)
 	w.reads++
 	w.taskWork++
+	if w.faultThresh != 0 {
+		w.maybeFault(1)
+	}
 	if w.war.Enabled() {
 		w.warRead(a)
 	}
@@ -775,8 +1033,14 @@ func (w *Ctx) Write(a pmem.Addr, v uint64) {
 	w.rt.check(a)
 	w.writes++
 	w.taskWork++
+	if w.faultThresh != 0 {
+		w.maybeFault(1)
+	}
 	if w.war.Enabled() {
 		w.warWrite(a)
+	}
+	if w.track {
+		w.dirty(a, a+1)
 	}
 	atomic.StoreUint64(&w.rt.mem[a], v)
 }
@@ -787,8 +1051,14 @@ func (w *Ctx) CAM(a pmem.Addr, old, new uint64) {
 	w.rt.check(a)
 	w.writes++
 	w.taskWork++
+	if w.faultThresh != 0 {
+		w.maybeFault(1)
+	}
 	if w.war.Enabled() {
 		w.warWrite(a)
+	}
+	if w.track {
+		w.dirty(a, a+1)
 	}
 	atomic.CompareAndSwapUint64(&w.rt.mem[a], old, new)
 }
@@ -818,6 +1088,9 @@ func (w *Ctx) ReadRange(base pmem.Addr, lo, hi int, fn func(idx int, v uint64)) 
 	}
 	w.rt.check(base + pmem.Addr(lo))
 	w.rt.check(base + pmem.Addr(hi-1))
+	if w.faultThresh != 0 {
+		w.maybeFault(int64(hi - lo))
+	}
 	if w.war.Enabled() {
 		// Before the loop: fn may write through the worker, and the tracker
 		// must see this read first to keep it exposed.
@@ -840,6 +1113,9 @@ func (w *Ctx) ReadInto(base pmem.Addr, lo, hi int, dst []uint64) {
 	}
 	w.rt.check(base + pmem.Addr(lo))
 	w.rt.check(base + pmem.Addr(hi-1))
+	if w.faultThresh != 0 {
+		w.maybeFault(int64(hi - lo))
+	}
 	copy(dst, w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)])
 	n := int64(hi - lo)
 	w.reads += n
@@ -861,6 +1137,9 @@ func (w *Ctx) Gather(base pmem.Addr, spans [][2]int, dst []uint64) []uint64 {
 		}
 		w.rt.check(base + pmem.Addr(lo))
 		w.rt.check(base + pmem.Addr(hi-1))
+		if w.faultThresh != 0 {
+			w.maybeFault(int64(hi - lo))
+		}
 		dst = append(dst, w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)]...)
 		if w.war.Enabled() {
 			w.warReadSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
@@ -884,9 +1163,15 @@ func (w *Ctx) Scatter(base pmem.Addr, spans [][2]int, src []uint64) {
 		}
 		w.rt.check(base + pmem.Addr(lo))
 		w.rt.check(base + pmem.Addr(hi-1))
+		if w.faultThresh != 0 {
+			w.maybeFault(int64(hi - lo))
+		}
 		copy(w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)], src[:hi-lo])
 		if w.war.Enabled() {
 			w.warWriteSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
+		}
+		if w.track {
+			w.dirty(base+pmem.Addr(lo), base+pmem.Addr(hi))
 		}
 		src = src[hi-lo:]
 		n += int64(hi - lo)
@@ -905,6 +1190,9 @@ func (w *Ctx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {
 	}
 	w.rt.check(base + pmem.Addr(lo))
 	w.rt.check(base + pmem.Addr(hi-1))
+	if w.faultThresh != 0 {
+		w.maybeFault(int64(hi - lo))
+	}
 	copy(w.rt.mem[base+pmem.Addr(lo):base+pmem.Addr(hi)], vals)
 	n := int64(hi - lo)
 	w.writes += n
@@ -912,44 +1200,79 @@ func (w *Ctx) WriteRange(base pmem.Addr, lo, hi int, vals []uint64) {
 	if w.war.Enabled() {
 		w.warWriteSpan(base+pmem.Addr(lo), base+pmem.Addr(hi))
 	}
+	if w.track {
+		w.dirty(base+pmem.Addr(lo), base+pmem.Addr(hi))
+	}
 }
 
 // ---- control transfers ----
 
 // Done finishes the current task, delivering completion to its join.
-func (w *Ctx) Done() { w.resolve(w.cur.join) }
+func (w *Ctx) Done() {
+	w.transferred = true
+	w.resolve(w.cur.join)
+}
 
 // Halt ends this worker's current chain (RunOnAll mode).
-func (w *Ctx) Halt() { w.next = nil }
+func (w *Ctx) Halt() {
+	w.transferred = true
+	w.next = nil
+}
 
 // Then continues the current chain with fid(args...), preserving the join.
+// A Then from a root-chain task stays on the root chain (but records no new
+// step: it is the same chain position continuing under a new closure).
 func (w *Ctx) Then(fid capsule.FuncID, args []uint64) {
-	w.next = &task{kind: taskUser, fn: fid, args: args, join: w.cur.join}
+	w.transferred = true
+	w.next = &task{kind: taskUser, fn: fid, args: args, join: w.cur.join,
+		chainTail: w.cur.chainTail, phase: w.cur.phase}
 }
 
 // Seq chains the calls so each runs after the previous one's entire
 // computation (including anything it forks) completes; the last one's
-// completion goes to the current task's join.
+// completion goes to the current task's join. A Seq issued from the chain
+// tail — the root, or the last step of the previous chain — replaces the
+// whole remaining spine, so it records its steps in the durable region
+// (latest chain wins: a driver that re-Seqs each round overwrites the
+// previous record) and tags each step with its phase index so step starts
+// become durable commits; the new last step becomes the new tail. A Seq
+// from any other task is a sub-chain (steps after it live in join cells the
+// region cannot see) and records nothing.
 func (w *Ctx) Seq(fids []capsule.FuncID, argss [][]uint64) {
+	w.transferred = true
 	if len(fids) == 0 {
-		w.Done()
+		w.resolve(w.cur.join)
 		return
+	}
+	chain := w.cur.chainTail
+	if chain && w.rt.region != nil {
+		w.rt.recordChain(fids, argss)
 	}
 	j := w.cur.join
 	for i := len(fids) - 1; i >= 1; i-- {
-		step := &join{cont: &task{kind: taskUser, fn: fids[i], args: argss[i], join: j}}
+		st := &task{kind: taskUser, fn: fids[i], args: argss[i], join: j}
+		if chain {
+			st.chainTail = i == len(fids)-1
+			st.phase = int32(i)
+		}
+		step := &join{cont: st}
 		step.pending.Store(1)
 		j = step
 	}
-	w.next = &task{kind: taskUser, fn: fids[0], args: argss[0], join: j}
+	first := &task{kind: taskUser, fn: fids[0], args: argss[0], join: j,
+		chainTail: chain && len(fids) == 1}
+	w.next = first
 }
 
 // Fork runs left and right in parallel. When both complete, the join call
 // runs (hasJoin) or completion passes straight through (plain fork); either
-// way the current task's join eventually receives the completion.
+// way the current task's join eventually receives the completion. Forked
+// children leave the root chain: their interleaving is scheduler-dependent,
+// so recovery re-executes them from the enclosing chain step.
 func (w *Ctx) Fork(lf capsule.FuncID, la []uint64, rf capsule.FuncID, ra []uint64,
 	jf capsule.FuncID, ja []uint64, hasJoin bool) {
 
+	w.transferred = true
 	j := &join{}
 	j.pending.Store(2)
 	if hasJoin {
@@ -964,6 +1287,7 @@ func (w *Ctx) Fork(lf capsule.FuncID, la []uint64, rf capsule.FuncID, ra []uint6
 // ParallelFor runs body over [lo, hi) as a balanced tree with at most grain
 // indices per leaf; body receives [lo, hi, a0, a1] and must end with Done.
 func (w *Ctx) ParallelFor(body capsule.FuncID, lo, hi, grain int, a0, a1 uint64) {
+	w.transferred = true
 	w.next = &task{kind: taskPfor,
 		args: []uint64{uint64(body), uint64(lo), uint64(hi), uint64(grain), a0, a1},
 		join: w.cur.join}

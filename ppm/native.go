@@ -30,22 +30,51 @@ type nativeEngine struct {
 // would be wasteful, but arrays and capsule Alloc still share one heap.
 const nativeMemWords = 1 << 23
 
-func newNativeEngine(c config) *nativeEngine {
+func nativeConfig(c config) native.Config {
 	mem := c.memWords
 	if mem <= 0 {
 		mem = nativeMemWords
 	}
-	return &nativeEngine{rt: native.New(native.Config{
-		P:          c.procs,
-		MemWords:   mem,
-		BlockWords: c.blockWords,
-		DequeCap:   c.dequeEntries,
-		Shards:     c.nativeShards, // 0 = the native default (GOMAXPROCS or P)
-		StealBatch: c.nativeStealBatch,
-		Seed:       c.seed,
-		Persist:    c.nativePersist,
-		WARCheck:   c.nativeWARCheck,
-	})}
+	return native.Config{
+		P:                  c.procs,
+		MemWords:           mem,
+		BlockWords:         c.blockWords,
+		DequeCap:           c.dequeEntries,
+		Shards:             c.nativeShards, // 0 = the native default (GOMAXPROCS or P)
+		StealBatch:         c.nativeStealBatch,
+		Seed:               c.seed,
+		Persist:            c.nativePersist,
+		DurablePath:        c.nativeDurable,
+		FaultRate:          c.faultRate,
+		CrashAfterPersists: c.nativeCrashAfter,
+		WARCheck:           c.nativeWARCheck,
+	}
+}
+
+func newNativeEngine(c config) *nativeEngine {
+	return &nativeEngine{rt: native.New(nativeConfig(c))}
+}
+
+// newRecoveredEngine reopens a durable region file; geometry (P, MemWords,
+// BlockWords) comes from the file, the rest of the config applies as usual.
+func newRecoveredEngine(path string, c config) (*nativeEngine, error) {
+	rt, err := native.Recover(path, nativeConfig(c))
+	if err != nil {
+		return nil, err
+	}
+	return &nativeEngine{rt: rt}, nil
+}
+
+// resume exits rebuild mode and replays the interrupted run's tail.
+func (n *nativeEngine) resume() (bool, error) {
+	ok, err := n.rt.Resume()
+	switch err {
+	case native.ErrBusy:
+		return ok, ErrRuntimeBusy
+	case native.ErrClosed:
+		return ok, ErrRuntimeClosed
+	}
+	return ok, err
 }
 
 func (n *nativeEngine) name() Engine { return EngineNative }

@@ -28,6 +28,8 @@ type config struct {
 	nativePersist    bool
 	nativeShards     int
 	nativeStealBatch int
+	nativeDurable    string
+	nativeCrashAfter int64
 	hardAt           map[int]int64
 	scripted         []scriptedFault
 }
@@ -38,11 +40,13 @@ func defaultConfig() config {
 
 // WithEngine selects the execution backend: EngineModel (the faithful
 // simulator, the default) or EngineNative (the goroutine work-stealing
-// hardware runtime). Fault-injection options (WithFaultRate, WithHardFault,
-// WithSoftFaultAt) are model-engine features and are ignored by the native
-// engine, which always executes fault-free — matching the paper's own
-// native experiments, where only fault counts are simulated. The dynamic
-// WAR checker exists on both engines: WithWARCheck covers the model,
+// hardware runtime). Soft faults exist on both engines: the model simulates
+// them with full cost accounting, while the native engine emulates them by
+// aborting and replaying capsules at hardware speed (WithFaultRate).
+// Deterministic and hard-fault placement (WithHardFault, WithSoftFaultAt)
+// remain model-engine features and are ignored natively — the native
+// takeover protocol for dead processors is simulated only. The dynamic WAR
+// checker exists on both engines: WithWARCheck covers the model,
 // WithNativeWARCheck the native backend.
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 
@@ -53,6 +57,30 @@ func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 // Ignored by the model engine, whose capsule installs persist by
 // construction.
 func WithNativePersist() Option { return func(c *config) { c.nativePersist = true } }
+
+// WithNativeDurable backs the native engine's word memory with an mmap'd
+// region file at path (created fresh, truncating any previous file) and
+// implies WithNativePersist: every persistence point additionally flushes
+// the capsule's dirtied span plus a per-worker frontier record (closure id,
+// args, epoch) into the file with MS_ASYNC, and run starts, root-chain phase
+// commits, run completion, and Close flush with MS_SYNC. A process killed
+// mid-run leaves a file that ppm.Recover reopens; Runtime.Resume then
+// re-executes only the un-committed tail — sound for WAR-free programs
+// (Theorem 3.1, enforced statically by ppmvet's warfree analyzer). Native
+// engine only; the model simulates persistence by construction.
+func WithNativeDurable(path string) Option {
+	return func(c *config) { c.nativeDurable = path }
+}
+
+// WithNativeCrashAfterPersists makes the native engine SIGKILL its own
+// process the moment the runtime's n-th persistence point commits. This is
+// a recovery drill (chaos) hook, meant for subprocess harnesses that prove a
+// durable region resumes to bit-exact output after kill -9 at an arbitrary
+// point; it has no effect unless persistence points are on, and none on the
+// model engine.
+func WithNativeCrashAfterPersists(n int64) Option {
+	return func(c *config) { c.nativeCrashAfter = n }
+}
 
 // WithNativeShards sets how many independent allocator shards the native
 // engine splits its flat memory's allocation path into (default GOMAXPROCS,
@@ -105,6 +133,14 @@ func WithDequeEntries(n int) Option { return func(c *config) { c.dequeEntries = 
 // A soft fault erases the processor's registers and ephemeral memory; the
 // runtime replays the active capsule. The model requires f < 1/(2C) for the
 // largest capsule work C, or the computation diverges.
+//
+// On the native engine this drives replay-based emulation: each tracked
+// memory access aborts the running capsule with probability f and the
+// scheduler re-runs it from its start at hardware speed (ephemeral state is
+// the body's locals, which the abort discards), so the same f < 1/(2C)
+// replay-overhead bound can be measured natively — see ppmbench's `fault`
+// experiment. Stats().SoftFaults/Restarts report the injected faults and
+// replays on both engines.
 func WithFaultRate(f float64) Option { return func(c *config) { c.faultRate = f } }
 
 // WithHardFault schedules processor proc to fail permanently at its at-th

@@ -100,6 +100,46 @@ func New(opts ...Option) *Runtime {
 	return r
 }
 
+// Recover reopens a durable native region file (see WithNativeDurable) and
+// returns a runtime in rebuild mode over it. The processor count and memory
+// geometry come from the file; opts supply the rest (scheduler knobs,
+// seeds). The caller must then reconstruct the program exactly as the
+// original process did — same registrations in the same order, same Build
+// calls with the same parameters — and call Resume in place of the original
+// Run. During rebuild, setup allocations replay to their pre-crash addresses
+// and input staging (Array.Load, memory writes) is suppressed, because the
+// file already holds the durable state; registration mismatches are detected
+// and refused at Resume.
+func Recover(path string, opts ...Option) (*Runtime, error) {
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	eng, err := newRecoveredEngine(path, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{eng: eng}, nil
+}
+
+// Resume completes an interrupted run on a runtime built by Recover: it ends
+// rebuild mode and re-executes only the un-committed tail of the persisted
+// run — from the last durably committed root-chain step when one is
+// recorded, or from the recorded root closure otherwise. Re-execution of
+// capsules that had already finished is idempotent for WAR-free programs
+// (Theorem 3.1), which ppmvet's warfree analyzer enforces statically. It
+// returns true when the region holds a completed run afterwards; resuming a
+// cleanly finished (or cleanly Closed) region returns true immediately
+// without replaying anything. Calling Resume on a runtime that did not come
+// from Recover returns an error.
+func (r *Runtime) Resume() (bool, error) {
+	n, ok := r.eng.(*nativeEngine)
+	if !ok {
+		return false, errors.New("ppm: Resume requires a runtime built by Recover")
+	}
+	return n.resume()
+}
+
 // Func is the body of a capsule — the unit of fault-tolerant execution. It
 // must be deterministic in its closure arguments and the persistent memory
 // it reads, and must end with exactly one control transfer (Done, Fork,

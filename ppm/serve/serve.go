@@ -34,6 +34,9 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,6 +93,13 @@ type Config struct {
 	StealBatch int
 	// Seed drives graph generation determinism.
 	Seed uint64
+	// DurableDir, when non-empty, backs each resident graph's runtime with
+	// an mmap'd region file under this directory (created on first use):
+	// query effects persist at capsule boundaries, so a crashed server can
+	// be restarted against surviving region files with ppm.Recover. Eviction
+	// closes the runtime (final msync) and then removes its backing file —
+	// an evicted graph's epoch is over, so its durable state goes with it.
+	DurableDir string
 }
 
 // Default returns the configuration cmd/ppmserve starts from.
@@ -161,6 +171,11 @@ type Stats struct {
 	Evictions     int64   `json:"evictions"`      // graph entries closed
 	GraphsBuilt   int64   `json:"graphs_built"`   // entries constructed
 	CoalesceRatio float64 `json:"coalesce_ratio"` // RunQueries / Runs
+	// PersistPoints maps each resident graph key to the capsule-boundary
+	// persistence points its runtime has committed so far. Zero on every
+	// entry unless the server runs with DurableDir; nil when no graphs are
+	// resident.
+	PersistPoints map[string]int64 `json:"persist_points,omitempty"`
 }
 
 type counters struct {
@@ -310,7 +325,7 @@ func (s *Server) Stats() Stats {
 	if runs > 0 {
 		ratio = float64(rq) / float64(runs)
 	}
-	return Stats{
+	st := Stats{
 		Queries:       s.ctr.queries.Load(),
 		Answered:      s.ctr.answered.Load(),
 		Shed429:       s.ctr.shed429.Load(),
@@ -322,6 +337,18 @@ func (s *Server) Stats() Stats {
 		GraphsBuilt:   s.ctr.graphsBuilt.Load(),
 		CoalesceRatio: ratio,
 	}
+	// Per-graph persist-point counts: reading a resident runtime's counter
+	// mid-run is safe (it is an atomic the workers bump), so holding s.mu
+	// only pins the entry set, not the runners.
+	s.mu.Lock()
+	if len(s.entries) > 0 {
+		st.PersistPoints = make(map[string]int64, len(s.entries))
+		for key, e := range s.entries {
+			st.PersistPoints[key] = e.rt.PersistPoints()
+		}
+	}
+	s.mu.Unlock()
+	return st
 }
 
 // Graphs lists the resident graph keys, most recently used first.
@@ -433,19 +460,31 @@ func (s *Server) buildEntry(spec GraphSpec) (*entry, error) {
 	if s.cfg.StealBatch > 0 {
 		opts = append(opts, ppm.WithNativeStealBatch(s.cfg.StealBatch))
 	}
+	durablePath := ""
+	if s.cfg.DurableDir != "" {
+		if err := os.MkdirAll(s.cfg.DurableDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: durable dir: %w", err)
+		}
+		// One region file per resident graph, named by its cache key (':' is
+		// legal in POSIX filenames but hostile to tooling, so flatten it).
+		durablePath = filepath.Join(s.cfg.DurableDir,
+			strings.ReplaceAll(spec.Key(), ":", "_")+".region")
+		opts = append(opts, ppm.WithNativeDurable(durablePath))
+	}
 	rt := ppm.New(opts...)
 	e := &entry{
-		srv:    s,
-		key:    spec.Key(),
-		g:      g,
-		rt:     rt,
-		ms:     graph.NewMultiBFS("serve", g, s.cfg.MaxBatch),
-		cc:     graph.Components("serve", g),
-		pr:     graph.PageRank("serve", g, s.cfg.PageRankIters),
-		queue:  make(chan *pending, s.cfg.MaxQueue),
-		quit:   make(chan struct{}),
-		levels: make(map[int]*list.Element),
-		lvlLRU: list.New(),
+		srv:         s,
+		key:         spec.Key(),
+		g:           g,
+		rt:          rt,
+		durablePath: durablePath,
+		ms:          graph.NewMultiBFS("serve", g, s.cfg.MaxBatch),
+		cc:          graph.Components("serve", g),
+		pr:          graph.PageRank("serve", g, s.cfg.PageRankIters),
+		queue:       make(chan *pending, s.cfg.MaxQueue),
+		quit:        make(chan struct{}),
+		levels:      make(map[int]*list.Element),
+		lvlLRU:      list.New(),
 	}
 	e.ms.Build(rt)
 	e.cc.Build(rt)
@@ -499,6 +538,10 @@ type entry struct {
 	cc    ppm.Algorithm
 	pr    ppm.Algorithm
 	lruEl *list.Element
+	// durablePath is the runtime's backing region file ("" when the server
+	// runs without DurableDir); close removes it after the runtime's final
+	// msync.
+	durablePath string
 
 	queue chan *pending
 	quit  chan struct{}
@@ -534,7 +577,10 @@ func (e *entry) enqueue(p *pending) error {
 }
 
 // close stops the runner (draining its queue with ErrEvicted) and releases
-// the runtime's memory region.
+// the runtime's memory region. A durable entry is closed in lifecycle order:
+// Runtime.Close performs the final MS_SYNC and marks the region complete,
+// and only then is the backing file removed — eviction ends the graph's
+// durable epoch, it never leaves a half-written region behind.
 func (e *entry) close() {
 	close(e.quit)
 	e.wg.Wait()
@@ -546,6 +592,9 @@ func (e *entry) close() {
 			}
 		default:
 			e.rt.Close()
+			if e.durablePath != "" {
+				os.Remove(e.durablePath)
+			}
 			return
 		}
 	}

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -396,6 +399,57 @@ func TestResultsMatchAcrossBatches(t *testing.T) {
 	time.Sleep(100 * time.Millisecond)
 	<-s.runSem
 	wg.Wait()
+}
+
+// TestDurableServing runs the server with DurableDir: every resident graph
+// gets an mmap'd region file, /statsz-visible persist points accumulate as
+// queries run, and eviction (LRU or Close) removes the file only after the
+// runtime's final sync.
+func TestDurableServing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "regions")
+	cfg := testConfig()
+	cfg.MaxGraphs = 1
+	cfg.DurableDir = dir
+	s := New(cfg)
+	defer s.Close()
+
+	regionFile := func(g GraphSpec) string {
+		return filepath.Join(dir, strings.ReplaceAll(g.Key(), ":", "_")+".region")
+	}
+
+	g1 := smallGraph(11)
+	if _, err := s.Submit(Query{Graph: g1, Kind: "bfs", Source: 0}); err != nil {
+		t.Fatalf("bfs on durable graph: %v", err)
+	}
+	if _, err := os.Stat(regionFile(g1)); err != nil {
+		t.Fatalf("resident graph has no region file: %v", err)
+	}
+	st := s.Stats()
+	if st.PersistPoints[g1.Key()] == 0 {
+		t.Fatalf("no persist points reported for resident durable graph: %+v", st)
+	}
+
+	// A second graph evicts the first (MaxGraphs=1); its region file must be
+	// gone, and the stats map must track the new resident set.
+	g2 := smallGraph(12)
+	if _, err := s.Submit(Query{Graph: g2, Kind: "cc"}); err != nil {
+		t.Fatalf("cc on second durable graph: %v", err)
+	}
+	if _, err := os.Stat(regionFile(g1)); !os.IsNotExist(err) {
+		t.Fatalf("evicted graph's region file survived (stat err = %v)", err)
+	}
+	st = s.Stats()
+	if _, ok := st.PersistPoints[g1.Key()]; ok {
+		t.Fatalf("evicted graph still reported in persist points: %+v", st)
+	}
+	if st.PersistPoints[g2.Key()] == 0 {
+		t.Fatalf("no persist points reported for second graph: %+v", st)
+	}
+
+	s.Close()
+	if _, err := os.Stat(regionFile(g2)); !os.IsNotExist(err) {
+		t.Fatalf("Close left a region file behind (stat err = %v)", err)
+	}
 }
 
 func ExampleGraphSpec_Key() {
