@@ -37,11 +37,13 @@ type Row struct {
 	// Serving metrics (ppmload rows, exp == "serve"), checked by
 	// CheckServe: sustained throughput, tail latency, batch coalescing, and
 	// the failure count of the load run.
-	QPS      float64 `json:"qps"`
-	P99MS    float64 `json:"p99_ms"`
-	Coalesce float64 `json:"coalesce"`
-	Queries  int64   `json:"queries"`
-	Failed   int64   `json:"failed"`
+	QPS       float64 `json:"qps"`
+	P99MS     float64 `json:"p99_ms"`
+	Coalesce  float64 `json:"coalesce"`
+	Queries   int64   `json:"queries"`
+	Mutations int64   `json:"mutations"`
+	Retries   int64   `json:"retries"`
+	Failed    int64   `json:"failed"`
 	// Fault-sweep columns (ppmbench's fault experiment; absent in older
 	// artifacts), checked by CheckFaultOverhead: the injected rate, the
 	// largest capsule work C the f < 1/(2C) precondition is judged by, and
@@ -338,16 +340,19 @@ func CheckSched(rows []Row) []Finding {
 
 // ServeGate anchors the serving benchmark: a run must sustain the QPS
 // floor, keep p99 under the ceiling, coalesce at least the floor's worth of
-// queries per run, and fail nothing. Zero-valued fields skip that check.
+// queries per run, commit at least MutateFloor mutation batches somewhere in
+// the run (the mixed read/write anchor), and fail nothing. Zero-valued
+// fields skip that check.
 type ServeGate struct {
 	QPSFloor      float64
 	P99CeilingMS  float64
 	CoalesceFloor float64
+	MutateFloor   int64
 }
 
 // Enabled reports whether any serve anchor was requested.
 func (g ServeGate) Enabled() bool {
-	return g.QPSFloor > 0 || g.P99CeilingMS > 0 || g.CoalesceFloor > 0
+	return g.QPSFloor > 0 || g.P99CeilingMS > 0 || g.CoalesceFloor > 0 || g.MutateFloor > 0
 }
 
 // CheckServe verifies every serve row in the current run against the gate.
@@ -356,11 +361,15 @@ func (g ServeGate) Enabled() bool {
 func CheckServe(rows []Row, gate ServeGate) []Finding {
 	var out []Finding
 	checked := 0
+	var maxMut int64
 	for _, r := range rows {
 		if r.Exp != "serve" {
 			continue
 		}
 		checked++
+		if r.Mutations > maxMut {
+			maxMut = r.Mutations
+		}
 		if !r.Verified || r.Failed > 0 {
 			out = append(out, Finding{r.key(),
 				fmt.Sprintf("load run not clean (verified=%v, %d failed queries)", r.Verified, r.Failed), true})
@@ -379,11 +388,20 @@ func CheckServe(rows []Row, gate ServeGate) []Finding {
 				fmt.Sprintf("coalesce ratio %.2fx below the %.1fx floor", r.Coalesce, gate.CoalesceFloor), true})
 		}
 		out = append(out, Finding{r.key(),
-			fmt.Sprintf("%.0f QPS, p99 %.2fms, coalesce %.2fx, %d queries",
-				r.QPS, r.P99MS, r.Coalesce, r.Queries), false})
+			fmt.Sprintf("%.0f QPS, p99 %.2fms, coalesce %.2fx, %d queries, %d mutations, %d retries",
+				r.QPS, r.P99MS, r.Coalesce, r.Queries, r.Mutations, r.Retries), false})
 	}
 	if checked == 0 {
 		out = append(out, Finding{"serve", "no serve rows to anchor against", true})
+		return out
+	}
+	// The mutate floor is a run-level anchor, not per-row: read-only rows in
+	// the same artifact are fine so long as some row in the run committed the
+	// floor's worth of mutation batches through the serving write path.
+	if gate.MutateFloor > 0 && maxMut < gate.MutateFloor {
+		out = append(out, Finding{"serve",
+			fmt.Sprintf("no serve row committed >= %d mutations (max %d); mixed read/write anchor unmet",
+				gate.MutateFloor, maxMut), true})
 	}
 	return out
 }

@@ -277,6 +277,38 @@ func TestCheckServeZeroFieldsSkip(t *testing.T) {
 	}
 }
 
+func TestCheckServeMutateFloor(t *testing.T) {
+	gate := ServeGate{MutateFloor: 5}
+	if !gate.Enabled() {
+		t.Fatal("mutate floor alone must enable the serve gate")
+	}
+	low := serveRow(900, 40, 3, 0)
+	low.Mutations = 2
+	fs := fatals(CheckServe([]Row{low}, gate))
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "mixed read/write anchor unmet") {
+		t.Fatalf("2 mutations against a floor of 5 must fail, got %v", fs)
+	}
+	hit := serveRow(900, 40, 3, 0)
+	hit.Mutations = 7
+	if fs := fatals(CheckServe([]Row{hit}, gate)); len(fs) != 0 {
+		t.Fatalf("7 mutations against a floor of 5 must pass, got %v", fs)
+	}
+}
+
+func TestCheckServeMutateFloorIsRunLevel(t *testing.T) {
+	// A read-only row alongside a mutating row satisfies the floor: the
+	// anchor asks that the run exercised the write path, not that every row
+	// did.
+	readOnly := serveRow(900, 40, 3, 0)
+	writeMix := serveRow(700, 60, 2.5, 0)
+	writeMix.Workload = "mixed-rw"
+	writeMix.Mutations = 12
+	fs := fatals(CheckServe([]Row{readOnly, writeMix}, ServeGate{MutateFloor: 10}))
+	if len(fs) != 0 {
+		t.Fatalf("run-level floor met by one row must pass, got %v", fs)
+	}
+}
+
 func TestCheckSchedIgnoresServeRows(t *testing.T) {
 	fs := fatals(CheckSched([]Row{serveRow(900, 40, 3, 0), schedRow("native", 8, 1)}))
 	if len(fs) != 0 {

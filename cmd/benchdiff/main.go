@@ -17,9 +17,10 @@ func main() {
 	serveQPS := flag.Float64("serve-qps-floor", 0, "require serve rows in -new to sustain at least this QPS")
 	serveP99 := flag.Float64("serve-p99-ceiling", 0, "require serve rows in -new to keep p99 under this many ms")
 	serveCoalesce := flag.Float64("serve-coalesce-floor", 0, "require serve rows in -new to coalesce at least this many queries per run")
+	serveMutate := flag.Int64("serve-mutate-floor", 0, "require some serve row in -new to have committed at least this many mutation batches")
 	faultCeiling := flag.Float64("fault-overhead-ceiling", 0, "require fault rows within the f<1/(2C) precondition to stay under this wall ratio vs their f=0 base row (0 = off)")
 	flag.Parse()
-	serveGate := ServeGate{QPSFloor: *serveQPS, P99CeilingMS: *serveP99, CoalesceFloor: *serveCoalesce}
+	serveGate := ServeGate{QPSFloor: *serveQPS, P99CeilingMS: *serveP99, CoalesceFloor: *serveCoalesce, MutateFloor: *serveMutate}
 
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")

@@ -10,7 +10,15 @@
 // one connectivity and one PageRank query, so the measured phase starts
 // against a resident, warmed graph — the serving steady state. The measured
 // phase then runs the configured worker count for the configured duration,
-// each worker drawing kinds from the mix and sources from the pool.
+// each worker drawing kinds from the mix and sources from the pool. A mix
+// may include "mutate=K": those ops POST /mutate with a per-worker edge set
+// toggled between insert and delete each round, so the graph churns without
+// growing past its arc capacity.
+//
+// 429 responses are retried with capped exponential backoff plus jitter
+// before counting as shed — transient admission pressure is the load
+// generator's problem, not the service's. The retry total lands in the
+// bench row.
 //
 // Latency percentiles and QPS come from the measured phase only; batching
 // and shed counters come from the server's /statsz (cumulative, so the
@@ -48,16 +56,25 @@ type row struct {
 	WallMS   float64 `json:"wall_ms"` // measured-phase duration
 	Verified bool    `json:"verified"`
 
-	QPS      float64 `json:"qps"`
-	P50MS    float64 `json:"p50_ms"`
-	P95MS    float64 `json:"p95_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	Coalesce float64 `json:"coalesce"`
-	Queries  int64   `json:"queries"`
-	Shed429  int64   `json:"shed_429"`
-	Shed503  int64   `json:"shed_503"`
-	Failed   int64   `json:"failed"`
+	QPS       float64 `json:"qps"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	Coalesce  float64 `json:"coalesce"`
+	Queries   int64   `json:"queries"`
+	Mutations int64   `json:"mutations"`
+	Retries   int64   `json:"retries"`
+	Shed429   int64   `json:"shed_429"`
+	Shed503   int64   `json:"shed_503"`
+	Failed    int64   `json:"failed"`
 }
+
+// retry policy for 429s: capped exponential backoff with jitter.
+const (
+	retryMax  = 4
+	retryBase = 2 * time.Millisecond
+	retryCap  = 50 * time.Millisecond
+)
 
 func main() {
 	var (
@@ -70,7 +87,9 @@ func main() {
 		workers  = flag.Int("workers", 16, "concurrent load workers")
 		duration = flag.Duration("duration", 10*time.Second, "measured-phase length")
 		sources  = flag.Int("sources", 32, "distinct BFS source pool size")
-		mix      = flag.String("mix", "bfs=80,cc=10,pagerank=10", "query kind mix (percent)")
+		mix      = flag.String("mix", "bfs=80,cc=10,pagerank=10", "op mix (percent; kinds bfs/cc/pagerank/mutate)")
+		mutEdges = flag.Int("mut-edges", 8, "edges per mutation batch")
+		mutGap   = flag.Duration("mut-interval", 0, "per-worker minimum gap between mutations (0 = none); excess mutate draws fall back to bfs")
 		deadline = flag.Int64("deadline-ms", 1000, "per-query deadline")
 		jsonOut  = flag.String("json", "", "write the bench row array here")
 		maxFail  = flag.Int64("max-failed", -1, "exit nonzero past this many failed queries (-1 = no gate)")
@@ -106,13 +125,13 @@ func main() {
 				defer wg.Done()
 				q := serve.Query{Graph: spec, Kind: "bfs",
 					Source: sourceAt(s, *n, *sources), DeadlineMS: 60_000}
-				fire(client, *url, q)
+				fire(client, *url, "/query", q)
 			}(s)
 		}
 		wg.Wait()
 	}
 	for _, k := range []string{"cc", "pagerank"} {
-		if code, _ := fire(client, *url, serve.Query{Graph: spec, Kind: k, DeadlineMS: 60_000}); code != http.StatusOK {
+		if code, _ := fire(client, *url, "/query", serve.Query{Graph: spec, Kind: k, DeadlineMS: 60_000}); code != http.StatusOK {
 			fatal(fmt.Errorf("warmup %s query answered %d", k, code))
 		}
 	}
@@ -122,6 +141,7 @@ func main() {
 	type tally struct {
 		lat            []time.Duration
 		ok, s429, s503 int64
+		muts, retries  int64
 		failed         int64
 	}
 	tallies := make([]tally, *workers)
@@ -133,21 +153,56 @@ func main() {
 			defer wg.Done()
 			t := &tallies[w]
 			x := rng.NewXoshiro256(*seed + uint64(w)*7919)
+			// Per-worker mutation edge set, toggled between insert and
+			// delete each round so repeated mutate ops churn the graph
+			// without unbounded arc growth. Workers own disjoint sets.
+			edges := workerEdges(w, *mutEdges, *n)
+			inserted := false
+			// Stagger each worker's first allowed mutation across the
+			// interval so the write load spreads instead of spiking at start.
+			nextMut := time.Now().Add(time.Duration(w) * *mutGap / time.Duration(*workers))
 			for time.Now().Before(stop) {
-				q := serve.Query{Graph: spec, DeadlineMS: *deadline}
-				q.Kind = mixKinds[x.Next()%uint64(len(mixKinds))]
-				if q.Kind == "bfs" {
-					q.Source = sourceAt(int(x.Next()%uint64(*sources)), *n, *sources)
+				op := mixKinds[x.Next()%uint64(len(mixKinds))]
+				if op == "mutate" && *mutGap > 0 {
+					if now := time.Now(); now.Before(nextMut) {
+						op = "bfs" // rate-limited: serve a read instead
+					} else {
+						nextMut = now.Add(*mutGap)
+					}
+				}
+				var (
+					path string
+					body any
+				)
+				if op == "mutate" {
+					mu := serve.Mutation{Graph: spec, DeadlineMS: 60_000}
+					if inserted {
+						mu.Delete = edges
+					} else {
+						mu.Insert = edges
+					}
+					path, body = "/mutate", mu
+				} else {
+					q := serve.Query{Graph: spec, Kind: op, DeadlineMS: *deadline}
+					if op == "bfs" {
+						q.Source = sourceAt(int(x.Next()%uint64(*sources)), *n, *sources)
+					}
+					path, body = "/query", q
 				}
 				t0 := time.Now()
-				code, err := fire(client, *url, q)
+				code, nretry, err := fireRetry(client, *url, path, body, x)
 				el := time.Since(t0)
+				t.retries += nretry
 				switch {
 				case err != nil:
 					t.failed++
 				case code == http.StatusOK:
 					t.ok++
 					t.lat = append(t.lat, el)
+					if op == "mutate" {
+						t.muts++
+						inserted = !inserted
+					}
 				case code == http.StatusTooManyRequests:
 					t.s429++
 				case code == http.StatusServiceUnavailable:
@@ -161,7 +216,7 @@ func main() {
 	wg.Wait()
 
 	var all []time.Duration
-	var ok, s429, s503, failed int64
+	var ok, s429, s503, failed, muts, retries int64
 	for i := range tallies {
 		t := &tallies[i]
 		all = append(all, t.lat...)
@@ -169,6 +224,8 @@ func main() {
 		s429 += t.s429
 		s503 += t.s503
 		failed += t.failed
+		muts += t.muts
+		retries += t.retries
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
@@ -184,9 +241,11 @@ func main() {
 		QPS:      float64(ok) / duration.Seconds(),
 		P50MS:    pctMS(all, 50), P95MS: pctMS(all, 95), P99MS: pctMS(all, 99),
 		Coalesce: st.CoalesceRatio,
-		Queries:  ok, Shed429: s429, Shed503: s503, Failed: failed,
+		Queries:  ok, Mutations: muts, Retries: retries,
+		Shed429: s429, Shed503: s503, Failed: failed,
 	}
-	fmt.Printf("ppmload: %d ok, %d shed429, %d shed503, %d failed\n", ok, s429, s503, failed)
+	fmt.Printf("ppmload: %d ok (%d mutations), %d retries, %d shed429, %d shed503, %d failed\n",
+		ok, muts, retries, s429, s503, failed)
 	fmt.Printf("ppmload: qps=%.0f p50=%.2fms p95=%.2fms p99=%.2fms coalesce=%.2fx\n",
 		r.QPS, r.P50MS, r.P95MS, r.P99MS, r.Coalesce)
 	fmt.Printf("ppmload: server stats: %+v\n", st)
@@ -204,6 +263,29 @@ func main() {
 	if *maxFail >= 0 && failed > *maxFail {
 		fatal(fmt.Errorf("%d failed queries (max %d)", failed, *maxFail))
 	}
+}
+
+// workerEdges builds worker w's mutation edge set: a chain through a vertex
+// stripe owned by that worker alone, so concurrent workers never insert or
+// delete the same arc.
+func workerEdges(w, count, n int) [][2]int {
+	if count <= 0 || n < 4 {
+		return nil
+	}
+	stride := n / (count + 1)
+	if stride < 2 {
+		stride = 2
+	}
+	out := make([][2]int, 0, count)
+	for i := 0; i < count; i++ {
+		u := (w*count*2 + i*stride + 1) % n
+		v := (u + stride/2 + 1) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		out = append(out, [2]int{u, v})
+	}
+	return out
 }
 
 // sourceAt spreads the source pool across the vertex range so neighboring
@@ -228,7 +310,7 @@ func parseMix(s string) ([]string, error) {
 			return nil, fmt.Errorf("bad mix weight %q", part)
 		}
 		switch kv[0] {
-		case "bfs", "cc", "pagerank":
+		case "bfs", "cc", "pagerank", "mutate":
 		default:
 			return nil, fmt.Errorf("unknown mix kind %q", kv[0])
 		}
@@ -259,15 +341,36 @@ func waitHealthy(c *http.Client, url string, patience time.Duration) error {
 	}
 }
 
-func fire(c *http.Client, url string, q serve.Query) (int, error) {
-	body, _ := json.Marshal(q)
-	resp, err := c.Post(url+"/query", "application/json", bytes.NewReader(body))
+func fire(c *http.Client, url, path string, v any) (int, error) {
+	body, _ := json.Marshal(v)
+	resp, err := c.Post(url+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode, nil
+}
+
+// fireRetry fires the op, retrying 429s with capped exponential backoff plus
+// jitter. Only admission shed retries — 503s and transport errors report
+// straight back, since they signal state (deadline, eviction, shutdown) a
+// retry storm would just pile onto.
+func fireRetry(c *http.Client, url, path string, v any, x *rng.Xoshiro256) (code int, retries int64, err error) {
+	backoff := retryBase
+	for attempt := 0; ; attempt++ {
+		code, err = fire(c, url, path, v)
+		if err != nil || code != http.StatusTooManyRequests || attempt == retryMax {
+			return code, retries, err
+		}
+		retries++
+		jitter := time.Duration(x.Next() % uint64(backoff))
+		time.Sleep(backoff/2 + jitter/2)
+		backoff *= 2
+		if backoff > retryCap {
+			backoff = retryCap
+		}
+	}
 }
 
 func fetchStats(c *http.Client, url string) (serve.Stats, error) {

@@ -1,7 +1,7 @@
 // ppmserve runs the resident query service (ppm/serve) over the native
 // runtime: graphs stay loaded, programs stay built, and concurrent BFS /
-// connectivity / PageRank queries are admitted, batched, and answered over a
-// small JSON HTTP API.
+// connectivity / PageRank queries — plus durable edge-mutation batches — are
+// admitted, batched, and answered over a small JSON HTTP API.
 //
 //	go run ./cmd/ppmserve -addr :8080 -procs 8 -max-batch 8
 //
@@ -9,12 +9,18 @@
 //
 //	POST /query   {"graph":{"kind":"rand","n":100000,"m":200000,"seed":42},
 //	               "kind":"bfs","source":7,"deadline_ms":250}
+//	POST /mutate  {"graph":{...},"insert":[[1,2]],"delete":[[3,4]]}
 //	GET  /graphs  resident graph keys, most recently used first
-//	GET  /statsz  admission/batching/cache counters
+//	GET  /statsz  admission/batching/cache/epoch counters
 //	GET  /healthz liveness
+//	GET  /readyz  readiness (503 while crash-recovery replay is in progress)
 //
 // Overload answers 429 (admission queue full) or 503 (deadline passed while
-// queued, graph evicted, shutting down). Drive it with cmd/ppmload.
+// queued, graph evicted, snapshot aged out, shutting down). With -durable-dir
+// set, startup recovers any surviving region files before readiness flips,
+// and SIGTERM/SIGINT drains: admission stops, in-flight queries and any open
+// mutation batch finish, and every region is synced before exit. Drive it
+// with cmd/ppmload.
 package main
 
 import (
@@ -32,19 +38,23 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		procs      = flag.Int("procs", 8, "processors per graph runtime")
-		maxGraphs  = flag.Int("max-graphs", 2, "resident graph cache size")
-		maxBatch   = flag.Int("max-batch", 8, "multi-source BFS batch width")
-		maxQueue   = flag.Int("max-queue", 256, "admission bound (429 past it)")
-		maxRuns    = flag.Int("max-runs", 1, "concurrent program runs across graphs")
-		deadline   = flag.Duration("deadline", 2*time.Second, "default per-query deadline")
-		memWords   = flag.Int("mem-words", 1<<24, "words per graph runtime region")
-		levelCache = flag.Int("level-cache", 64, "memoized BFS rows per graph")
-		prIters    = flag.Int("pr-iters", 10, "PageRank iterations")
-		stealBatch = flag.Int("steal-batch", 0, "native steal batch (0 = default)")
-		seed       = flag.Uint64("seed", 42, "graph generation seed")
-		durableDir = flag.String("durable-dir", "", "back each resident graph with an mmap'd region file under this dir (empty = volatile)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		procs       = flag.Int("procs", 8, "processors per graph runtime")
+		maxGraphs   = flag.Int("max-graphs", 2, "resident graph cache size")
+		maxBatch    = flag.Int("max-batch", 8, "multi-source BFS batch width")
+		maxQueue    = flag.Int("max-queue", 256, "query admission bound (429 past it)")
+		mutQueue    = flag.Int("mut-queue", 32, "mutation admission bound (429 past it)")
+		maxRuns     = flag.Int("max-runs", 1, "concurrent program runs across graphs")
+		deadline    = flag.Duration("deadline", 2*time.Second, "default per-query deadline")
+		memWords    = flag.Int("mem-words", 1<<24, "words per graph runtime region")
+		levelCache  = flag.Int("level-cache", 64, "memoized BFS rows per graph")
+		prIters     = flag.Int("pr-iters", 10, "PageRank iterations")
+		stealBatch  = flag.Int("steal-batch", 0, "native steal batch (0 = default)")
+		seed        = flag.Uint64("seed", 42, "graph generation seed")
+		durableDir  = flag.String("durable-dir", "", "back each resident graph with an mmap'd region file under this dir (empty = volatile)")
+		epochSlots  = flag.Int("epoch-slots", 2, "CSR epoch ring slots (snapshot window = slots-1 batches)")
+		mutBatchCap = flag.Int("mut-batch-cap", 1024, "max edges per mutation batch")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining in-flight work")
 	)
 	flag.Parse()
 
@@ -53,6 +63,7 @@ func main() {
 		MaxGraphs:         *maxGraphs,
 		MaxBatch:          *maxBatch,
 		MaxQueue:          *maxQueue,
+		MaxMutQueue:       *mutQueue,
 		MaxConcurrentRuns: *maxRuns,
 		DefaultDeadline:   *deadline,
 		MemWords:          *memWords,
@@ -61,6 +72,8 @@ func main() {
 		StealBatch:        *stealBatch,
 		Seed:              *seed,
 		DurableDir:        *durableDir,
+		EpochSlots:        *epochSlots,
+		MutBatchCap:       *mutBatchCap,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -70,18 +83,33 @@ func main() {
 	}
 	hs := &http.Server{Handler: serve.Handler(srv)}
 
+	// Recover surviving regions in the background: the listener is up
+	// immediately (liveness), but /readyz answers 503 until every recovered
+	// graph has replayed its un-committed tail.
+	if *durableDir != "" {
+		go func() {
+			if n := srv.RecoverResident(); n > 0 {
+				fmt.Printf("ppmserve: recovered %d durable graph(s) from %s\n", n, *durableDir)
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-stop
-		fmt.Fprintln(os.Stderr, "ppmserve: shutting down")
+		fmt.Fprintln(os.Stderr, "ppmserve: draining")
+		// Stop accepting connections but let in-flight handlers return, then
+		// drain the service: admitted queries and any open mutation batch
+		// complete, and each durable region gets a final sync on close.
 		hs.Close()
+		srv.Drain(*drainWait)
 	}()
 
-	fmt.Printf("ppmserve: listening on %s (procs=%d, batch=%d, queue=%d)\n",
-		ln.Addr(), *procs, *maxBatch, *maxQueue)
+	fmt.Printf("ppmserve: listening on %s (procs=%d, batch=%d, queue=%d, mut-queue=%d)\n",
+		ln.Addr(), *procs, *maxBatch, *maxQueue, *mutQueue)
 	err = hs.Serve(ln)
-	srv.Close()
+	srv.Drain(*drainWait)
 	if err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "ppmserve: %v\n", err)
 		os.Exit(1)

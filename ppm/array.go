@@ -49,6 +49,18 @@ func (a Array) Load(vals []uint64) {
 	}
 }
 
+// LoadAt bulk-writes vals into elements [lo, lo+len(vals)) at setup time
+// (harness-side, free) — the staging path for arrays whose live prefix
+// varies run to run (version-ring slots, mutation deltas).
+func (a Array) LoadAt(lo int, vals []uint64) {
+	if lo < 0 || lo+len(vals) > a.n {
+		panic("ppm: LoadAt out of range")
+	}
+	for i, v := range vals {
+		a.rt.eng.memWrite(a.At(lo+i), v)
+	}
+}
+
 // Snapshot copies the array out of persistent memory (harness-side, free).
 func (a Array) Snapshot() []uint64 {
 	return a.SnapshotRange(0, a.n)

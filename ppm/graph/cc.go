@@ -18,9 +18,11 @@ import (
 type ccAlgo struct {
 	tag string
 	g   *Graph
+	res *Resident // non-nil: read the epoch-versioned CSR ring
 
 	rt     *ppm.Runtime
 	labels [2]ppm.Array
+	slotW  ppm.Array
 	root   ppm.FuncRef
 }
 
@@ -32,13 +34,34 @@ func Components(tag string, g *Graph) ppm.Algorithm {
 	return &ccAlgo{tag: tag, g: g}
 }
 
+// CCResident is connected components bound to a Resident's epoch-versioned
+// CSR ring; RunAt binds each run to one version slot.
+type CCResident struct{ a *ccAlgo }
+
+// ComponentsResident builds label-propagation connected components over an
+// epoch-versioned resident graph.
+func ComponentsResident(tag string, res *Resident) *CCResident {
+	return &CCResident{a: &ccAlgo{tag: tag, g: res.base, res: res}}
+}
+
+// Build registers the program on rt (after the Resident's own Build).
+func (c *CCResident) Build(rt *ppm.Runtime) { c.a.Build(rt) }
+
+// RunAt runs connected components against one CSR version slot.
+func (c *CCResident) RunAt(slot int) (bool, error) { return c.a.runAt(slot) }
+
+// Output returns the component label (minimum member id) of every vertex
+// from the last run.
+func (c *CCResident) Output() []uint64 { return c.a.Output() }
+
 func (a *ccAlgo) Name() string { return "cc/" + a.tag }
 
 func (a *ccAlgo) Build(rt *ppm.Runtime) {
 	a.rt = rt
 	n := a.g.N
 	name := "graph/cc/" + a.tag
-	cs := loadCSR(rt, a.g)
+	a.slotW = rt.NewArray(1)
+	cs := bindCSR(rt, a.res, a.g, a.slotW)
 	a.labels = [2]ppm.Array{rt.NewArray(n), rt.NewArray(n)}
 	changed := rt.NewArray(1)
 
@@ -112,6 +135,16 @@ func (a *ccAlgo) Build(rt *ppm.Runtime) {
 }
 
 func (a *ccAlgo) Run() bool { return a.rt.Run(a.root) }
+
+// runAt stages the CSR version slot and runs through TryRun (serving-layer
+// lifecycle errors propagate instead of panicking).
+func (a *ccAlgo) runAt(slot int) (bool, error) {
+	if a.rt.Closed() {
+		return false, ppm.ErrRuntimeClosed
+	}
+	a.slotW.Load([]uint64{uint64(slot)})
+	return a.rt.TryRun(a.root)
+}
 
 // Output returns the component label (minimum member id) of every vertex.
 // At convergence the two ping-pong buffers are identical, so either serves.

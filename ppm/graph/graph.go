@@ -253,6 +253,63 @@ func (cs csr) gatherAdjRange(c ppm.Ctx, lo, hi int) (spans [][2]int, nbrs []uint
 	return spans, cs.adj.Gather(c, spans, nil)
 }
 
+// vcsr is a slot-versioned view over a Resident's CSR ring: offs holds
+// slots*(n+1) words and adj slots*cap words, and the slot a run reads is the
+// value of slotW[0], staged host-side before the run. Staged words are
+// persistent memory, so a durable replay of any capsule re-reads the same
+// slot; a standalone (single-version) view leaves slotW at its zero value.
+type vcsr struct {
+	offs  ppm.Array
+	adj   ppm.Array
+	slotW ppm.Array
+	n     int
+	cap   int
+}
+
+// bindCSR binds an algorithm to its graph storage through slotW (the
+// algorithm's own staged slot word): a Resident's version ring when res is
+// non-nil, else a freshly loaded single-slot CSR (slotW stays zero).
+func bindCSR(rt *ppm.Runtime, res *Resident, g *Graph, slotW ppm.Array) vcsr {
+	if res != nil {
+		return res.view(slotW)
+	}
+	cs := loadCSR(rt, g)
+	return vcsr{offs: cs.offs, adj: cs.adj, slotW: slotW,
+		n: g.N, cap: max(1, len(g.Adj))}
+}
+
+// bases reads the run's slot and returns the offset/adjacency array bases.
+func (v vcsr) bases(c ppm.Ctx) (int, int) {
+	s := int(v.slotW.Get(c, 0))
+	return s * (v.n + 1), s * v.cap
+}
+
+// gatherAdj is csr.gatherAdj over the run's slot.
+func (v vcsr) gatherAdj(c ppm.Ctx, vs []uint64) (spans [][2]int, nbrs []uint64) {
+	ob, ab := v.bases(c)
+	ospans := make([][2]int, len(vs))
+	for i, u := range vs {
+		ospans[i] = [2]int{ob + int(u), ob + int(u) + 2}
+	}
+	ovals := v.offs.Gather(c, ospans, nil)
+	spans = make([][2]int, len(vs))
+	for i := range vs {
+		spans[i] = [2]int{ab + int(ovals[2*i]), ab + int(ovals[2*i+1])}
+	}
+	return spans, v.adj.Gather(c, spans, nil)
+}
+
+// gatherAdjRange is csr.gatherAdjRange over the run's slot.
+func (v vcsr) gatherAdjRange(c ppm.Ctx, lo, hi int) (spans [][2]int, nbrs []uint64) {
+	ob, ab := v.bases(c)
+	ovals := v.offs.Slice(c, ob+lo, ob+hi+1)
+	spans = make([][2]int, hi-lo)
+	for i := range spans {
+		spans[i] = [2]int{ab + int(ovals[i]), ab + int(ovals[i+1])}
+	}
+	return spans, v.adj.Gather(c, spans, nil)
+}
+
 // iotaVec returns [lo, lo+k) as uint64s.
 func iotaVec(lo, k int) []uint64 {
 	out := make([]uint64, k)

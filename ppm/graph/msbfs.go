@@ -30,11 +30,13 @@ type MultiBFS struct {
 	tag  string
 	g    *Graph
 	kMax int
+	res  *Resident // non-nil: read the epoch-versioned CSR ring
 
 	rt    *ppm.Runtime
 	level ppm.Array // kMax*n combined levels, row s = search s
 	roots []ppm.FuncRef
 	srcs  ppm.Array // kMax source slots, INF = padded
+	slotW ppm.Array // staged CSR version slot for the run (0 standalone)
 
 	lastSrcs []int // sources of the last RunBatch, for Verify
 }
@@ -54,6 +56,16 @@ func NewMultiBFS(tag string, g *Graph, kMax int) *MultiBFS {
 	return &MultiBFS{tag: tag, g: g, kMax: k}
 }
 
+// NewMultiBFSResident builds a batched BFS over a Resident's epoch-versioned
+// CSR ring: RunBatchAt binds each run to one version slot, so a batch of
+// queries pinned to epoch E reads epoch-E arcs regardless of later committed
+// mutation batches (while E stays within the ring).
+func NewMultiBFSResident(tag string, res *Resident, kMax int) *MultiBFS {
+	a := NewMultiBFS(tag, res.base, kMax)
+	a.res = res
+	return a
+}
+
 // KMax returns the batch capacity (a power of two).
 func (a *MultiBFS) KMax() int { return a.kMax }
 
@@ -67,7 +79,8 @@ func (a *MultiBFS) Build(rt *ppm.Runtime) {
 	a.rt = rt
 	n := a.g.N
 	name := "graph/msbfs/" + a.tag
-	cs := loadCSR(rt, a.g)
+	a.slotW = rt.NewArray(1)
+	cs := bindCSR(rt, a.res, a.g, a.slotW)
 	kn := a.kMax * n
 	a.level = rt.NewArray(kn)
 	a.srcs = rt.NewArray(a.kMax)
@@ -214,6 +227,18 @@ func (a *MultiBFS) Build(rt *ppm.Runtime) {
 // serving layer serializes batches with its own queue and treats Busy as a
 // scheduling bug rather than a panic.
 func (a *MultiBFS) RunBatch(sources []int) (bool, error) {
+	slot := 0
+	if a.res != nil {
+		slot, _ = a.res.SlotFor(a.res.Epoch())
+	}
+	return a.RunBatchAt(sources, slot)
+}
+
+// RunBatchAt is RunBatch bound to one CSR version slot: the whole batch
+// reads that slot's arcs. Callers group queries by pinned epoch and map each
+// group's epoch to its slot with Resident.SlotFor. Standalone (non-resident)
+// programs use slot 0.
+func (a *MultiBFS) RunBatchAt(sources []int, slot int) (bool, error) {
 	if len(sources) == 0 {
 		return true, nil
 	}
@@ -239,6 +264,7 @@ func (a *MultiBFS) RunBatch(sources []int) (bool, error) {
 		vals[i] = uint64(s)
 	}
 	a.srcs.Load(vals)
+	a.slotW.Load([]uint64{uint64(slot)})
 	ok, err := a.rt.TryRun(a.roots[wi])
 	if err != nil {
 		return false, err

@@ -26,9 +26,11 @@ type prAlgo struct {
 	tag   string
 	g     *Graph
 	iters int
+	res   *Resident // non-nil: pull over the forward versioned CSR
 
 	rt    *ppm.Runtime
 	ranks [2]ppm.Array
+	slotW ppm.Array
 	root  ppm.FuncRef
 }
 
@@ -43,19 +45,64 @@ func PageRank(tag string, g *Graph, iters int) ppm.Algorithm {
 	return &prAlgo{tag: tag, g: g, iters: iters}
 }
 
+// PRResident is PageRank bound to a Resident's epoch-versioned CSR ring.
+// Because the resident graphs are symmetric (every edge is two arcs), the
+// forward CSR doubles as the in-edge structure: the pull iteration reads the
+// version slot's own lists, and per-epoch out-degrees come from the slot's
+// offsets — no separate reverse CSR to keep in sync under mutation. The
+// summation order is the forward-CSR arc order; PageRankResidentRef computes
+// the bit-exact sequential reference in the same order.
+type PRResident struct{ a *prAlgo }
+
+// PageRankResident builds iters rounds of pull PageRank over an
+// epoch-versioned resident (symmetric) graph.
+func PageRankResident(tag string, res *Resident, iters int) *PRResident {
+	if iters < 1 {
+		panic("graph: PageRank needs at least one iteration")
+	}
+	return &PRResident{a: &prAlgo{tag: tag, g: res.base, iters: iters, res: res}}
+}
+
+// Build registers the program on rt (after the Resident's own Build).
+func (p *PRResident) Build(rt *ppm.Runtime) { p.a.Build(rt) }
+
+// RunAt runs PageRank against one CSR version slot.
+func (p *PRResident) RunAt(slot int) (bool, error) {
+	if p.a.rt.Closed() {
+		return false, ppm.ErrRuntimeClosed
+	}
+	p.a.slotW.Load([]uint64{uint64(slot)})
+	return p.a.rt.TryRun(p.a.root)
+}
+
+// Output returns the final rank vector (float64 bits) of the last run.
+func (p *PRResident) Output() []uint64 { return p.a.Output() }
+
 func (a *prAlgo) Name() string { return "pagerank/" + a.tag }
 
 func (a *prAlgo) Build(rt *ppm.Runtime) {
 	a.rt = rt
 	n := a.g.N
 	name := "graph/pagerank/" + a.tag
-	rev := loadCSR(rt, a.g.Reverse())
-	outdeg := rt.NewArray(n)
-	degs := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		degs[v] = uint64(a.g.Degree(v))
+	a.slotW = rt.NewArray(1)
+	// Resident mode pulls over the forward versioned CSR (symmetric graphs:
+	// the in-lists are the out-lists) and reads per-epoch degrees from the
+	// slot's offsets; standalone mode keeps the explicit reverse CSR and a
+	// host-loaded out-degree array.
+	fromCSR := a.res != nil
+	var rev vcsr
+	var outdeg ppm.Array
+	if fromCSR {
+		rev = a.res.view(a.slotW)
+	} else {
+		rev = bindCSR(rt, nil, a.g.Reverse(), a.slotW)
+		outdeg = rt.NewArray(n)
+		degs := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			degs[v] = uint64(a.g.Degree(v))
+		}
+		outdeg.Load(degs)
 	}
-	outdeg.Load(degs)
 	a.ranks = [2]ppm.Array{rt.NewArray(n), rt.NewArray(n)}
 	contrib := rt.NewArray(n)
 
@@ -76,7 +123,19 @@ func (a *prAlgo) Build(rt *ppm.Runtime) {
 	contribLeaf := rt.Register(name+"/contrib", func(c ppm.Ctx) {
 		lo, hi, parity := c.Int(0), c.Int(1), c.Int(2)
 		r := a.ranks[parity].Slice(c, lo, hi)
-		d := outdeg.Slice(c, lo, hi)
+		var d []uint64
+		if fromCSR {
+			// Per-epoch out-degrees from the slot's own offsets: a host-loaded
+			// degree array would go stale under committed mutation batches.
+			ob, _ := rev.bases(c)
+			ovals := rev.offs.Slice(c, ob+lo, ob+hi+1)
+			d = make([]uint64, hi-lo)
+			for i := range d {
+				d[i] = ovals[i+1] - ovals[i]
+			}
+		} else {
+			d = outdeg.Slice(c, lo, hi)
+		}
 		vals := make([]uint64, hi-lo)
 		for i := range vals {
 			if d[i] > 0 {
@@ -163,6 +222,44 @@ func (a *prAlgo) Verify() error {
 			a.Name(), residual, bound, a.iters)
 	}
 	return nil
+}
+
+// PageRankResidentRef computes the resident-mode PageRank reference: iters
+// pull rounds over g's FORWARD CSR (the resident graphs are symmetric, so
+// the out-lists are the in-lists), summing each vertex's contributions in
+// forward arc order. This is bit-for-bit the order PRResident uses, so tests
+// and the serve chaos harness can demand exact equality. Returns float64 bit
+// patterns.
+func PageRankResidentRef(g *Graph, iters int) []uint64 {
+	n := g.N
+	cur := make([]float64, n)
+	for v := range cur {
+		cur[v] = 1 / float64(n)
+	}
+	contrib := make([]float64, n)
+	next := make([]float64, n)
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for u := 0; u < n; u++ {
+			contrib[u] = 0
+			if d := g.Degree(u); d > 0 {
+				contrib[u] = cur[u] / float64(d)
+			}
+		}
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.Adj[g.Offs[v]:g.Offs[v+1]] {
+				sum += contrib[u]
+			}
+			next[v] = base + damping*sum
+		}
+		cur, next = next, cur
+	}
+	out := make([]uint64, n)
+	for v := range out {
+		out[v] = math.Float64bits(cur[v])
+	}
+	return out
 }
 
 // prReference runs the identical iteration sequentially (same reverse-CSR

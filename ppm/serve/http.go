@@ -9,9 +9,12 @@ import (
 // Handler wraps the server in its HTTP API:
 //
 //	POST /query   — body: Query JSON; 200 Result, 429/503 on shed, 400 on junk
+//	POST /mutate  — body: Mutation JSON; 200 Result (Kind "mutate", new epoch)
 //	GET  /graphs  — resident graph keys, most recently used first
-//	GET  /statsz  — Stats counters
-//	GET  /healthz — 200 "ok" while the server accepts queries
+//	GET  /statsz  — Stats counters (per-graph epochs, pending mutation depth)
+//	GET  /healthz — liveness: 200 "ok" while the process serves HTTP at all
+//	GET  /readyz  — readiness: 200 "ready" when accepting work and no
+//	                crash-recovery replay is in progress, else 503
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -31,6 +34,23 @@ func Handler(s *Server) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("/mutate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var m Mutation
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			httpError(w, http.StatusBadRequest, "bad mutation: "+err.Error())
+			return
+		}
+		res, err := s.Mutate(m)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
 	mux.HandleFunc("/graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs()})
 	})
@@ -41,16 +61,26 @@ func Handler(s *Server) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			httpError(w, http.StatusServiceUnavailable, "recovering or closed")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
 	return mux
 }
 
 // statusFor maps service errors onto HTTP statuses: full queue → 429;
-// deadline, eviction, and shutdown → 503; malformed queries → 400.
+// deadline, eviction, snapshot-gone, and shutdown → 503; malformed queries
+// and mutations → 400.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDeadline), errors.Is(err, ErrEvicted), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrDeadline), errors.Is(err, ErrEvicted),
+		errors.Is(err, ErrClosed), errors.Is(err, ErrSnapshotGone):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrRunFailed):
 		return http.StatusInternalServerError

@@ -3,31 +3,52 @@
 // queries and turns the one-shot benchmark shape (build runtime, run, throw
 // both away) into a long-lived server.
 //
-// Three mechanisms make a single-run-at-a-time runtime serve concurrent
+// Four mechanisms make a single-run-at-a-time runtime serve concurrent
 // traffic:
 //
 //   - Admission control. A global bound caps the queries in flight; past it,
-//     Submit refuses immediately (ErrOverloaded → HTTP 429). Every admitted
-//     query carries a deadline; a query whose deadline passes while it waits
-//     is answered ErrDeadline (HTTP 503) — the runner never spends a run on
-//     a waiter that has already given up.
+//     Submit refuses immediately (ErrOverloaded → HTTP 429). Mutations have
+//     their own bound (MaxMutQueue), so a write burst cannot starve reads of
+//     admission slots or vice versa. Every admitted request carries a
+//     deadline; one whose deadline passes while it waits is answered
+//     ErrDeadline (HTTP 503) — the runner never spends a run on a waiter
+//     that has already given up.
 //
 //   - Batching. Each resident graph has one runner goroutine that drains its
 //     queue and coalesces compatible work: concurrent BFS queries execute as
 //     one multi-source frontier program (graph.MultiBFS, up to MaxBatch
 //     sources per run), and connectivity/PageRank — whose results depend
-//     only on the graph — run once and are memoized for every current and
-//     future waiter. BFS levels are memoized per source in a bounded LRU, so
-//     repeated sources are served without any run at all.
+//     only on the graph version — run once per epoch and are memoized for
+//     every current and future waiter. BFS levels are memoized per
+//     (source, epoch) in a bounded LRU, so repeated sources are served
+//     without any run at all.
+//
+//   - Mutation and snapshot isolation. Graphs are resident as epoch-versioned
+//     CSR rings (graph.Resident): POST /mutate joins the query path, and the
+//     runner applies each batch as a root-chain program whose commit bumps a
+//     durable epoch word. Every read pins the committed epoch at admission
+//     and executes against that epoch's version slot, so in-flight readers
+//     never observe a half-applied batch — they read the pre-batch arrays
+//     until the epoch falls out of the ring (ErrSnapshotGone → 503). The
+//     runner serves the drained reads first and only then applies drained
+//     mutations, keeping the isolation window short.
 //
 //   - Lifecycle. Graphs live in a bounded LRU cache; each entry owns its own
 //     native runtime, so evicting an entry releases its whole memory region
 //     through Runtime.Close (the pmem allocator is a bump allocator with no
 //     free list — per-entry runtimes are what make eviction reclaim memory).
+//     With DurableDir set, a restarted server recovers surviving region
+//     files: ppm.Recover + program rebuild + Resume replays the un-committed
+//     tail of any interrupted mutation batch, and the graph comes back at
+//     exactly the last committed epoch. Ready (GET /readyz) reports false
+//     while that replay is in progress; Drain is the graceful-shutdown
+//     counterpart to Close, finishing in-flight work and syncing every
+//     region without removing it.
 //
-// The package is HTTP-free at its core: Server.Submit is the programmatic
-// interface, and http.go wraps it in handlers (POST /query, GET /graphs,
-// GET /statsz, GET /healthz) for cmd/ppmserve.
+// The package is HTTP-free at its core: Server.Submit and Server.Mutate are
+// the programmatic interface, and http.go wraps them in handlers (POST
+// /query, POST /mutate, GET /graphs, GET /statsz, GET /healthz, GET
+// /readyz) for cmd/ppmserve.
 package serve
 
 import (
@@ -57,6 +78,9 @@ var (
 	ErrClosed = errors.New("serve: server is closed")
 	// ErrRunFailed reports a program run that did not complete (500).
 	ErrRunFailed = errors.New("serve: program run did not complete")
+	// ErrSnapshotGone answers a reader whose pinned epoch fell out of the
+	// version ring before its run was scheduled (503; retry reads current).
+	ErrSnapshotGone = errors.New("serve: pinned epoch fell out of the version ring")
 )
 
 // Config sizes the server. The zero value is unusable; call Default() and
@@ -74,6 +98,10 @@ type Config struct {
 	// MaxQueue bounds queries admitted and not yet answered, across all
 	// graphs. Beyond it Submit returns ErrOverloaded.
 	MaxQueue int
+	// MaxMutQueue bounds mutation batches admitted and not yet applied,
+	// across all graphs — the write path's own admission bound. Beyond it
+	// Mutate returns ErrOverloaded.
+	MaxMutQueue int
 	// MaxConcurrentRuns bounds program runs executing simultaneously across
 	// graph entries (each entry is internally serialized; this caps
 	// cross-entry parallelism so co-resident graphs do not oversubscribe
@@ -88,6 +116,12 @@ type Config struct {
 	LevelCacheEntries int
 	// PageRankIters is the fixed iteration count for pagerank queries.
 	PageRankIters int
+	// EpochSlots is the CSR version-ring size per resident graph (minimum
+	// 2). Readers keep snapshot isolation for EpochSlots-1 committed batches
+	// past their pin before ErrSnapshotGone.
+	EpochSlots int
+	// MutBatchCap caps the edges in one mutation batch.
+	MutBatchCap int
 	// StealBatch configures the native scheduler's steal batching (0 =
 	// native default).
 	StealBatch int
@@ -95,11 +129,19 @@ type Config struct {
 	Seed uint64
 	// DurableDir, when non-empty, backs each resident graph's runtime with
 	// an mmap'd region file under this directory (created on first use):
-	// query effects persist at capsule boundaries, so a crashed server can
-	// be restarted against surviving region files with ppm.Recover. Eviction
-	// closes the runtime (final msync) and then removes its backing file —
-	// an evicted graph's epoch is over, so its durable state goes with it.
+	// query and mutation effects persist at capsule boundaries, so a crashed
+	// server restarted against surviving region files recovers every graph
+	// at its last committed epoch (RecoverResident). Eviction and Close
+	// remove the backing file after the runtime's final msync — an evicted
+	// graph's durable history is over; Drain keeps the files for restart.
 	DurableDir string
+	// FaultRate injects soft faults into every entry runtime (capsule
+	// abort-and-replay; see ppm.WithFaultRate). Chaos testing only.
+	FaultRate float64
+	// CrashAfterPersists, when positive, SIGKILLs the process at the Nth
+	// persistence point of each entry runtime (ppm.WithNativeCrashAfterPersists).
+	// Chaos testing only; requires DurableDir to be meaningful.
+	CrashAfterPersists int64
 }
 
 // Default returns the configuration cmd/ppmserve starts from.
@@ -109,11 +151,14 @@ func Default() Config {
 		MaxGraphs:         2,
 		MaxBatch:          8,
 		MaxQueue:          256,
+		MaxMutQueue:       32,
 		MaxConcurrentRuns: 1,
 		DefaultDeadline:   2 * time.Second,
 		MemWords:          1 << 24,
 		LevelCacheEntries: 64,
 		PageRankIters:     10,
+		EpochSlots:        2,
+		MutBatchCap:       1024,
 		Seed:              42,
 	}
 }
@@ -132,7 +177,35 @@ func (s GraphSpec) Key() string {
 	return fmt.Sprintf("%s:n%d:m%d:s%d", s.Kind, s.N, s.M, s.Seed)
 }
 
-// Query is one request against a resident graph.
+// regionName flattens the key into a POSIX-friendly region file name; the
+// mapping is reversible (specFromRegion) so a restarted server can re-admit
+// surviving regions without being told what was resident.
+func (s GraphSpec) regionName() string {
+	return strings.ReplaceAll(s.Key(), ":", "_") + ".region"
+}
+
+// specFromRegion inverts regionName.
+func specFromRegion(name string) (GraphSpec, bool) {
+	name = strings.TrimSuffix(name, ".region")
+	parts := strings.Split(name, "_")
+	if len(parts) != 4 {
+		return GraphSpec{}, false
+	}
+	var sp GraphSpec
+	if _, err := fmt.Sscanf(parts[1], "n%d", &sp.N); err != nil {
+		return GraphSpec{}, false
+	}
+	if _, err := fmt.Sscanf(parts[2], "m%d", &sp.M); err != nil {
+		return GraphSpec{}, false
+	}
+	if _, err := fmt.Sscanf(parts[3], "s%d", &sp.Seed); err != nil {
+		return GraphSpec{}, false
+	}
+	sp.Kind = parts[0]
+	return sp, true
+}
+
+// Query is one read request against a resident graph.
 type Query struct {
 	Graph  GraphSpec `json:"graph"`
 	Kind   string    `json:"kind"`   // "bfs", "cc", "pagerank"
@@ -141,11 +214,26 @@ type Query struct {
 	DeadlineMS int64 `json:"deadline_ms"`
 }
 
-// Result is the answer to a query. Large outputs are summarized: a BFS
-// answer carries the reached-vertex count, the maximum finite level, and a
-// checksum of the level array; cc the component count; pagerank the rank
-// checksum. Batched reports how many queries the run that produced this
-// answer served (1 = unshared); Cached is true when no run was needed.
+// Mutation is one atomic batch of undirected edge changes against a resident
+// graph (see graph.MutationBatch for the exact semantics). Its commit bumps
+// the graph's epoch; concurrent readers admitted before the commit keep
+// reading the pre-batch arrays.
+type Mutation struct {
+	Graph  GraphSpec `json:"graph"`
+	Insert [][2]int  `json:"insert,omitempty"`
+	Delete [][2]int  `json:"delete,omitempty"`
+	// DeadlineMS bounds queue wait + execution; 0 uses the server default.
+	DeadlineMS int64 `json:"deadline_ms"`
+}
+
+// Result is the answer to a query or mutation. Large outputs are summarized:
+// a BFS answer carries the reached-vertex count, the maximum finite level,
+// and a checksum of the level array; cc the component count; pagerank the
+// rank checksum; a mutation the applied edge count (Extra) and the graph's
+// total arcs (Checksum). Epoch is the graph version the answer was computed
+// at (for a mutation, the version it committed). Batched reports how many
+// queries the run that produced this answer served (1 = unshared); Cached is
+// true when no run was needed.
 type Result struct {
 	Kind     string `json:"kind"`
 	Source   int    `json:"source,omitempty"`
@@ -153,7 +241,8 @@ type Result struct {
 	Reached  int    `json:"reached,omitempty"`
 	MaxLevel uint64 `json:"max_level,omitempty"`
 	Checksum uint64 `json:"checksum"`
-	Extra    uint64 `json:"extra,omitempty"` // cc: components; pagerank: iters
+	Extra    uint64 `json:"extra,omitempty"` // cc: components; pagerank: iters; mutate: edges
+	Epoch    uint64 `json:"epoch"`
 	Batched  int    `json:"batched"`
 	Cached   bool   `json:"cached"`
 	WaitMS   int64  `json:"wait_ms"`
@@ -161,16 +250,20 @@ type Result struct {
 
 // Stats is the counter snapshot served at /statsz.
 type Stats struct {
-	Queries       int64   `json:"queries"`        // admitted
+	Queries       int64   `json:"queries"`        // admitted reads
 	Answered      int64   `json:"answered"`       // answered successfully
 	Shed429       int64   `json:"shed_429"`       // refused at admission
-	Shed503       int64   `json:"shed_503"`       // deadline/eviction/closed
+	Shed503       int64   `json:"shed_503"`       // deadline/eviction/closed/snapshot-gone
 	Runs          int64   `json:"runs"`           // program runs executed
 	RunQueries    int64   `json:"run_queries"`    // queries answered by runs
 	CacheHits     int64   `json:"cache_hits"`     // answered with no run
 	Evictions     int64   `json:"evictions"`      // graph entries closed
 	GraphsBuilt   int64   `json:"graphs_built"`   // entries constructed
+	Mutations     int64   `json:"mutations"`      // mutation batches committed
+	MutQueued     int64   `json:"mut_queued"`     // mutation batches admitted, not yet applied
 	CoalesceRatio float64 `json:"coalesce_ratio"` // RunQueries / Runs
+	// Epochs maps each resident graph key to its last committed epoch.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 	// PersistPoints maps each resident graph key to the capsule-boundary
 	// persistence points its runtime has committed so far. Zero on every
 	// entry unless the server runs with DurableDir; nil when no graphs are
@@ -182,14 +275,16 @@ type counters struct {
 	queries, answered, shed429, shed503 atomic.Int64
 	runs, runQueries, cacheHits         atomic.Int64
 	evictions, graphsBuilt              atomic.Int64
+	mutations, mutQueued                atomic.Int64
 	inFlight                            atomic.Int64
 }
 
 // Server is the resident query service.
 type Server struct {
-	cfg    Config
-	ctr    counters
-	runSem chan struct{} // bounds cross-entry concurrent runs
+	cfg       Config
+	ctr       counters
+	runSem    chan struct{} // bounds cross-entry concurrent runs
+	replaying atomic.Int64  // recoveries in progress; Ready() gates on 0
 
 	mu      sync.Mutex
 	closed  bool
@@ -200,7 +295,7 @@ type Server struct {
 
 // buildState coalesces concurrent first queries for the same graph onto one
 // build: building a graph means generating it, constructing a runtime, and
-// compiling three programs — work (and a memory region) that must not be
+// compiling four programs — work (and a memory region) that must not be
 // multiplied by the very burst the batcher is there to absorb.
 type buildState struct {
 	ready chan struct{} // closed when the build finishes
@@ -223,6 +318,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = d.MaxQueue
 	}
+	if cfg.MaxMutQueue <= 0 {
+		cfg.MaxMutQueue = d.MaxMutQueue
+	}
 	if cfg.MaxConcurrentRuns <= 0 {
 		cfg.MaxConcurrentRuns = d.MaxConcurrentRuns
 	}
@@ -238,6 +336,12 @@ func New(cfg Config) *Server {
 	if cfg.PageRankIters <= 0 {
 		cfg.PageRankIters = d.PageRankIters
 	}
+	if cfg.EpochSlots < 2 {
+		cfg.EpochSlots = d.EpochSlots
+	}
+	if cfg.MutBatchCap <= 0 {
+		cfg.MutBatchCap = d.MutBatchCap
+	}
 	return &Server{
 		cfg:     cfg,
 		runSem:  make(chan struct{}, cfg.MaxConcurrentRuns),
@@ -247,9 +351,9 @@ func New(cfg Config) *Server {
 	}
 }
 
-// Submit runs one query to completion: admission, graph residency, batching
-// or memoized answer, deadline. It blocks until the answer (or refusal) and
-// is safe for arbitrary concurrency.
+// Submit runs one query to completion: admission, graph residency, epoch
+// pinning, batching or memoized answer, deadline. It blocks until the answer
+// (or refusal) and is safe for arbitrary concurrency.
 func (s *Server) Submit(q Query) (*Result, error) {
 	start := time.Now()
 	deadline := s.cfg.DefaultDeadline
@@ -280,8 +384,13 @@ func (s *Server) Submit(q Query) (*Result, error) {
 		return nil, fmt.Errorf("serve: bfs source %d out of range for n=%d", q.Source, e.g.N)
 	}
 
+	// Pin the graph version: the answer is computed against the epoch
+	// committed as of admission, even if mutation batches commit while this
+	// query waits (snapshot isolation for EpochSlots-1 batches).
+	epoch := e.res.Epoch()
+
 	// Memoized fast path: no run, no queue.
-	if r := e.cachedResult(q); r != nil {
+	if r := e.cachedResult(q, epoch); r != nil {
 		s.ctr.cacheHits.Add(1)
 		s.ctr.answered.Add(1)
 		r.WaitMS = time.Since(start).Milliseconds()
@@ -289,11 +398,58 @@ func (s *Server) Submit(q Query) (*Result, error) {
 	}
 
 	// Queue for the entry's runner, bounded by the query's deadline.
-	pq := &pending{q: q, done: make(chan struct{}), expiry: start.Add(deadline)}
+	pq := &pending{q: q, epoch: epoch, done: make(chan struct{}), expiry: start.Add(deadline)}
 	if err := e.enqueue(pq); err != nil {
 		s.ctr.shed503.Add(1)
 		return nil, err
 	}
+	return s.await(pq, start, deadline)
+}
+
+// Mutate applies one edge batch to a resident graph: admission against the
+// mutation bound, then the entry runner executes the batch-apply program
+// after the reads drained alongside it. On success the Result carries the
+// new committed epoch; on a durable server the commit has already persisted
+// when Mutate returns.
+func (s *Server) Mutate(m Mutation) (*Result, error) {
+	start := time.Now()
+	deadline := s.cfg.DefaultDeadline
+	if m.DeadlineMS > 0 {
+		deadline = time.Duration(m.DeadlineMS) * time.Millisecond
+	}
+	b := graph.MutationBatch{Insert: m.Insert, Delete: m.Delete}
+	if b.Edges() == 0 {
+		return nil, fmt.Errorf("serve: empty mutation batch")
+	}
+	if b.Edges() > s.cfg.MutBatchCap {
+		return nil, fmt.Errorf("serve: mutation batch of %d edges exceeds cap %d",
+			b.Edges(), s.cfg.MutBatchCap)
+	}
+	// The write path has its own admission bound: a mutation burst sheds
+	// 429s without consuming read slots.
+	if n := s.ctr.mutQueued.Add(1); n > int64(s.cfg.MaxMutQueue) {
+		s.ctr.mutQueued.Add(-1)
+		s.ctr.shed429.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer s.ctr.mutQueued.Add(-1)
+
+	e, err := s.entryFor(m.Graph)
+	if err != nil {
+		s.ctr.shed503.Add(1)
+		return nil, err
+	}
+	pq := &pending{q: Query{Graph: m.Graph, Kind: "mutate"}, mut: &b,
+		done: make(chan struct{}), expiry: start.Add(deadline)}
+	if err := e.enqueue(pq); err != nil {
+		s.ctr.shed503.Add(1)
+		return nil, err
+	}
+	return s.await(pq, start, deadline)
+}
+
+// await blocks on a queued pending until its answer or its deadline.
+func (s *Server) await(pq *pending, start time.Time, deadline time.Duration) (*Result, error) {
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
 	select {
@@ -317,6 +473,47 @@ func (s *Server) Submit(q Query) (*Result, error) {
 	return pq.res, nil
 }
 
+// Ready reports whether the server is accepting work and no crash-recovery
+// replay is in progress — the readiness half of the health split (liveness
+// stays /healthz). A recovered graph replaying its un-committed mutation
+// tail answers 503 on /readyz until the replay lands on the committed epoch.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	return !closed && s.replaying.Load() == 0
+}
+
+// RecoverResident scans DurableDir for region files left by a previous
+// process (a crash, or a Drain shutdown) and re-admits each one through the
+// recovery path: ppm.Recover, identical program rebuild, Resume of any
+// un-committed mutation tail, and host-mirror resync at the committed epoch.
+// Ready() is false for the duration. Returns the number of graphs recovered;
+// a region that fails to recover is removed and skipped (the graph rebuilds
+// fresh on next use) rather than wedging startup.
+func (s *Server) RecoverResident() int {
+	if s.cfg.DurableDir == "" {
+		return 0
+	}
+	s.replaying.Add(1)
+	defer s.replaying.Add(-1)
+	matches, err := filepath.Glob(filepath.Join(s.cfg.DurableDir, "*.region"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, f := range matches {
+		spec, ok := specFromRegion(filepath.Base(f))
+		if !ok {
+			continue
+		}
+		if _, err := s.entryFor(spec); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	runs := s.ctr.runs.Load()
@@ -335,15 +532,19 @@ func (s *Server) Stats() Stats {
 		CacheHits:     s.ctr.cacheHits.Load(),
 		Evictions:     s.ctr.evictions.Load(),
 		GraphsBuilt:   s.ctr.graphsBuilt.Load(),
+		Mutations:     s.ctr.mutations.Load(),
+		MutQueued:     s.ctr.mutQueued.Load(),
 		CoalesceRatio: ratio,
 	}
-	// Per-graph persist-point counts: reading a resident runtime's counter
-	// mid-run is safe (it is an atomic the workers bump), so holding s.mu
-	// only pins the entry set, not the runners.
+	// Per-graph epoch and persist-point counts: reading a resident runtime's
+	// counter mid-run is safe (it is an atomic the workers bump), so holding
+	// s.mu only pins the entry set, not the runners.
 	s.mu.Lock()
 	if len(s.entries) > 0 {
+		st.Epochs = make(map[string]uint64, len(s.entries))
 		st.PersistPoints = make(map[string]int64, len(s.entries))
 		for key, e := range s.entries {
+			st.Epochs[key] = e.res.Epoch()
 			st.PersistPoints[key] = e.rt.PersistPoints()
 		}
 	}
@@ -362,13 +563,43 @@ func (s *Server) Graphs() []string {
 	return out
 }
 
-// Close evicts every resident graph (closing their runtimes) and refuses
-// further queries. Idempotent.
+// Close evicts every resident graph (closing their runtimes and removing
+// their region files) and refuses further queries. Idempotent.
 func (s *Server) Close() {
+	for _, e := range s.detachAll() {
+		e.close(false)
+		s.ctr.evictions.Add(1)
+	}
+}
+
+// Drain is the graceful shutdown: it refuses new work, waits up to timeout
+// for in-flight queries and mutation batches to finish, then closes every
+// runtime — the final MS_SYNC on each durable region — while KEEPING the
+// region files, so the next process recovers every graph at its committed
+// epoch with RecoverResident. Idempotent with Close (whichever runs first
+// detaches the entries).
+func (s *Server) Drain(timeout time.Duration) {
+	evict := s.detachAll()
+	deadline := time.Now().Add(timeout)
+	for s.ctr.inFlight.Load() > 0 || s.ctr.mutQueued.Load() > 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, e := range evict {
+		e.close(true)
+		s.ctr.evictions.Add(1)
+	}
+}
+
+// detachAll latches closed and removes every entry from the tables; callers
+// then close the detached entries outside the lock.
+func (s *Server) detachAll() []*entry {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	evict := make([]*entry, 0, len(s.entries))
@@ -377,11 +608,7 @@ func (s *Server) Close() {
 	}
 	s.entries = map[string]*entry{}
 	s.lru.Init()
-	s.mu.Unlock()
-	for _, e := range evict {
-		e.close()
-		s.ctr.evictions.Add(1)
-	}
+	return evict
 }
 
 // entryFor returns the resident entry for spec, building (and evicting) as
@@ -420,7 +647,7 @@ func (s *Server) entryFor(spec GraphSpec) (*entry, error) {
 	if err != nil {
 		s.mu.Unlock()
 		if e != nil {
-			e.close()
+			e.close(false)
 		}
 		b.err = err
 		close(b.ready)
@@ -440,16 +667,34 @@ func (s *Server) entryFor(spec GraphSpec) (*entry, error) {
 	b.e = e
 	close(b.ready)
 	for _, old := range evict {
-		old.close()
+		old.close(false)
 		s.ctr.evictions.Add(1)
 	}
 	return e, nil
 }
 
+// buildEntry constructs one resident graph. With DurableDir set and a region
+// file already on disk — a previous process crashed mid-batch or Drained —
+// the entry comes back through the recovery path instead of a fresh build;
+// a region that fails to recover is removed and rebuilt fresh.
 func (s *Server) buildEntry(spec GraphSpec) (*entry, error) {
 	g, err := graph.Generate(spec.Kind, spec.N, spec.M, spec.Seed^s.cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	durablePath := ""
+	if s.cfg.DurableDir != "" {
+		if err := os.MkdirAll(s.cfg.DurableDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: durable dir: %w", err)
+		}
+		durablePath = filepath.Join(s.cfg.DurableDir, spec.regionName())
+		if _, err := os.Stat(durablePath); err == nil {
+			if e, err := s.recoverEntry(spec, g, durablePath); err == nil {
+				return e, nil
+			}
+			// Unrecoverable region: discard it and build fresh.
+			os.Remove(durablePath)
+		}
 	}
 	opts := []ppm.Option{
 		ppm.WithEngine(ppm.EngineNative),
@@ -460,46 +705,95 @@ func (s *Server) buildEntry(spec GraphSpec) (*entry, error) {
 	if s.cfg.StealBatch > 0 {
 		opts = append(opts, ppm.WithNativeStealBatch(s.cfg.StealBatch))
 	}
-	durablePath := ""
-	if s.cfg.DurableDir != "" {
-		if err := os.MkdirAll(s.cfg.DurableDir, 0o755); err != nil {
-			return nil, fmt.Errorf("serve: durable dir: %w", err)
-		}
-		// One region file per resident graph, named by its cache key (':' is
-		// legal in POSIX filenames but hostile to tooling, so flatten it).
-		durablePath = filepath.Join(s.cfg.DurableDir,
-			strings.ReplaceAll(spec.Key(), ":", "_")+".region")
+	if durablePath != "" {
 		opts = append(opts, ppm.WithNativeDurable(durablePath))
 	}
-	rt := ppm.New(opts...)
+	if s.cfg.FaultRate > 0 {
+		opts = append(opts, ppm.WithFaultRate(s.cfg.FaultRate))
+	}
+	if s.cfg.CrashAfterPersists > 0 {
+		opts = append(opts, ppm.WithNativeCrashAfterPersists(s.cfg.CrashAfterPersists))
+	}
+	e := s.newEntry(spec, g, ppm.New(opts...), durablePath)
+	s.ctr.graphsBuilt.Add(1)
+	e.start()
+	return e, nil
+}
+
+// recoverEntry re-admits a graph from a surviving region file: Recover opens
+// the file in rebuild mode, newEntry replays the identical registrations and
+// allocations (loads are suppressed — the file holds the durable state), and
+// Resume completes any interrupted mutation batch from its last committed
+// root-chain step. Ready() is false while this runs.
+func (s *Server) recoverEntry(spec GraphSpec, g *graph.Graph, durablePath string) (*entry, error) {
+	s.replaying.Add(1)
+	defer s.replaying.Add(-1)
+	opts := []ppm.Option{ppm.WithSeed(s.cfg.Seed)}
+	if s.cfg.StealBatch > 0 {
+		opts = append(opts, ppm.WithNativeStealBatch(s.cfg.StealBatch))
+	}
+	rt, err := ppm.Recover(durablePath, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e := s.newEntry(spec, g, rt, durablePath)
+	done, err := rt.Resume()
+	if err == nil && !done {
+		err = fmt.Errorf("serve: replay of %s did not complete", spec.Key())
+	}
+	if err == nil {
+		err = e.res.Recovered()
+	}
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	s.ctr.graphsBuilt.Add(1)
+	e.start()
+	return e, nil
+}
+
+// newEntry allocates the entry and builds its four programs in a fixed order
+// — Resident (version ring + apply program) first, then the readers — so a
+// recovered runtime replays registrations and allocations identically.
+func (s *Server) newEntry(spec GraphSpec, g *graph.Graph, rt *ppm.Runtime, durablePath string) *entry {
+	// Arc capacity per version slot: the base arcs plus a quarter growth
+	// headroom plus one full batch, so sustained insert-heavy workloads have
+	// room before ErrRunFailed-style capacity refusals.
+	arcCap := len(g.Adj) + len(g.Adj)/4 + 2*s.cfg.MutBatchCap
+	res := graph.NewResident("serve", g, s.cfg.EpochSlots, arcCap, s.cfg.MutBatchCap)
 	e := &entry{
 		srv:         s,
 		key:         spec.Key(),
 		g:           g,
 		rt:          rt,
+		res:         res,
 		durablePath: durablePath,
-		ms:          graph.NewMultiBFS("serve", g, s.cfg.MaxBatch),
-		cc:          graph.Components("serve", g),
-		pr:          graph.PageRank("serve", g, s.cfg.PageRankIters),
-		queue:       make(chan *pending, s.cfg.MaxQueue),
+		ms:          graph.NewMultiBFSResident("serve", res, s.cfg.MaxBatch),
+		cc:          graph.ComponentsResident("serve", res),
+		pr:          graph.PageRankResident("serve", res, s.cfg.PageRankIters),
+		queue:       make(chan *pending, s.cfg.MaxQueue+s.cfg.MaxMutQueue),
 		quit:        make(chan struct{}),
-		levels:      make(map[int]*list.Element),
+		levels:      make(map[lvlKey]*list.Element),
 		lvlLRU:      list.New(),
+		ccRes:       make(map[uint64]*Result),
+		prRes:       make(map[uint64]*Result),
 	}
+	res.Build(rt)
 	e.ms.Build(rt)
 	e.cc.Build(rt)
 	e.pr.Build(rt)
-	s.ctr.graphsBuilt.Add(1)
-	e.wg.Add(1)
-	go e.run()
-	return e, nil
+	return e
 }
 
 // ---- per-graph entry ----
 
-// pending is one queued query and its completion slot.
+// pending is one queued request and its completion slot. Reads carry the
+// epoch pinned at admission; a mutation carries its batch instead.
 type pending struct {
 	q      Query
+	epoch  uint64
+	mut    *graph.MutationBatch // non-nil: this is a mutation
 	expiry time.Time
 	res    *Result
 	err    error
@@ -520,44 +814,59 @@ func (p *pending) finish(r *Result, err error) {
 	close(p.done)
 }
 
+// lvlKey names one memoized BFS answer: results are per graph version, so
+// the epoch is part of the key and stale versions are pruned as the ring
+// advances.
+type lvlKey struct {
+	source int
+	epoch  uint64
+}
+
 // lvlEntry is one memoized BFS answer. Only the summary is kept — a raw
 // level row is n words, and nothing downstream reads more than the summary.
 type lvlEntry struct {
-	source int
-	res    *Result
+	key lvlKey
+	res *Result
 }
 
-// entry is one resident graph: its runtime, built programs, runner, and
-// memoized results.
+// entry is one resident graph: its runtime, version ring, built programs,
+// runner, and memoized results.
 type entry struct {
 	srv   *Server
 	key   string
-	g     *graph.Graph
+	g     *graph.Graph // epoch-0 base graph (N is fixed under mutation)
 	rt    *ppm.Runtime
+	res   *graph.Resident
 	ms    *graph.MultiBFS
-	cc    ppm.Algorithm
-	pr    ppm.Algorithm
+	cc    *graph.CCResident
+	pr    *graph.PRResident
 	lruEl *list.Element
 	// durablePath is the runtime's backing region file ("" when the server
-	// runs without DurableDir); close removes it after the runtime's final
-	// msync.
+	// runs without DurableDir); close(false) removes it after the runtime's
+	// final msync, close(true) keeps it for recovery.
 	durablePath string
 
 	queue chan *pending
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
-	// Memoized results. A graph is immutable while resident, so cc and
-	// pagerank are computed at most once per residency ("graph epoch"):
-	// eviction discards them with the entry.
+	// Memoized results, keyed by epoch: a graph version is immutable, so cc
+	// and pagerank are computed at most once per epoch and BFS levels at
+	// most once per (source, epoch). Mutation commits prune epochs that
+	// left the version ring; eviction discards everything with the entry.
 	memoMu sync.Mutex
-	ccRes  *Result
-	prRes  *Result
-	levels map[int]*list.Element // source -> *lvlEntry element
+	ccRes  map[uint64]*Result
+	prRes  map[uint64]*Result
+	levels map[lvlKey]*list.Element // key -> *lvlEntry element
 	lvlLRU *list.List
 }
 
-// enqueue hands a pending query to the runner.
+func (e *entry) start() {
+	e.wg.Add(1)
+	go e.run()
+}
+
+// enqueue hands a pending request to the runner.
 func (e *entry) enqueue(p *pending) error {
 	select {
 	case <-e.quit:
@@ -570,8 +879,8 @@ func (e *entry) enqueue(p *pending) error {
 	case <-e.quit:
 		return ErrEvicted
 	default:
-		// Queue full: the global admission bound is the real limiter; a
-		// full per-entry queue means it is saturated too.
+		// Queue full: the global admission bounds are the real limiters; a
+		// full per-entry queue means they are saturated too.
 		return ErrOverloaded
 	}
 }
@@ -580,8 +889,9 @@ func (e *entry) enqueue(p *pending) error {
 // the runtime's memory region. A durable entry is closed in lifecycle order:
 // Runtime.Close performs the final MS_SYNC and marks the region complete,
 // and only then is the backing file removed — eviction ends the graph's
-// durable epoch, it never leaves a half-written region behind.
-func (e *entry) close() {
+// durable epoch, it never leaves a half-written region behind. keepRegion
+// (Drain) skips the removal so a restarted process can recover the graph.
+func (e *entry) close(keepRegion bool) {
 	close(e.quit)
 	e.wg.Wait()
 	for {
@@ -592,7 +902,7 @@ func (e *entry) close() {
 			}
 		default:
 			e.rt.Close()
-			if e.durablePath != "" {
+			if e.durablePath != "" && !keepRegion {
 				os.Remove(e.durablePath)
 			}
 			return
@@ -600,25 +910,25 @@ func (e *entry) close() {
 	}
 }
 
-// cachedResult answers q from the memo tables, or nil.
-func (e *entry) cachedResult(q Query) *Result {
+// cachedResult answers q from the memo tables at the pinned epoch, or nil.
+func (e *entry) cachedResult(q Query, epoch uint64) *Result {
 	e.memoMu.Lock()
 	defer e.memoMu.Unlock()
 	switch q.Kind {
 	case "cc":
-		if e.ccRes != nil {
-			r := *e.ccRes
+		if res := e.ccRes[epoch]; res != nil {
+			r := *res
 			r.Cached = true
 			return &r
 		}
 	case "pagerank":
-		if e.prRes != nil {
-			r := *e.prRes
+		if res := e.prRes[epoch]; res != nil {
+			r := *res
 			r.Cached = true
 			return &r
 		}
 	case "bfs":
-		if el, ok := e.levels[q.Source]; ok {
+		if el, ok := e.levels[lvlKey{q.Source, epoch}]; ok {
 			e.lvlLRU.MoveToFront(el)
 			r := *el.Value.(*lvlEntry).res
 			r.Cached = true
@@ -629,8 +939,36 @@ func (e *entry) cachedResult(q Query) *Result {
 	return nil
 }
 
+// pruneMemos drops memoized results for epochs that left the version ring
+// (called after each committed mutation batch).
+func (e *entry) pruneMemos() {
+	e.memoMu.Lock()
+	defer e.memoMu.Unlock()
+	for ep := range e.ccRes {
+		if _, ok := e.res.SlotFor(ep); !ok {
+			delete(e.ccRes, ep)
+		}
+	}
+	for ep := range e.prRes {
+		if _, ok := e.res.SlotFor(ep); !ok {
+			delete(e.prRes, ep)
+		}
+	}
+	var next *list.Element
+	for el := e.lvlLRU.Front(); el != nil; el = next {
+		next = el.Next()
+		le := el.Value.(*lvlEntry)
+		if _, ok := e.res.SlotFor(le.key.epoch); !ok {
+			e.lvlLRU.Remove(el)
+			delete(e.levels, le.key)
+		}
+	}
+}
+
 // run is the entry's runner goroutine: it drains the queue, coalesces
-// same-kind work into single runs, and answers every claimed waiter.
+// same-kind work into single runs, and answers every claimed waiter. Reads
+// are served before the mutations drained alongside them — the reads hold
+// epoch pins the mutations would otherwise age toward the ring's edge.
 func (e *entry) run() {
 	defer e.wg.Done()
 	for {
@@ -652,7 +990,7 @@ func (e *entry) run() {
 				break drain
 			}
 		}
-		var bfs, cc, pr []*pending
+		var bfs, cc, pr, muts []*pending
 		now := time.Now()
 		for _, p := range batch {
 			if !p.claim() {
@@ -662,18 +1000,21 @@ func (e *entry) run() {
 				p.finish(nil, ErrDeadline)
 				continue
 			}
-			switch p.q.Kind {
-			case "bfs":
+			switch {
+			case p.mut != nil:
+				muts = append(muts, p)
+			case p.q.Kind == "bfs":
 				bfs = append(bfs, p)
-			case "cc":
+			case p.q.Kind == "cc":
 				cc = append(cc, p)
-			case "pagerank":
+			case p.q.Kind == "pagerank":
 				pr = append(pr, p)
 			}
 		}
 		e.serveCC(cc)
 		e.servePR(pr)
 		e.serveBFS(bfs)
+		e.serveMut(muts)
 	}
 }
 
@@ -723,23 +1064,57 @@ func finishExpired(ps []*pending) []*pending {
 	return live
 }
 
-func (e *entry) serveCC(ps []*pending) {
+// groupByEpoch partitions claimed waiters by their pinned epoch, preserving
+// arrival order within each group.
+func groupByEpoch(ps []*pending) map[uint64][]*pending {
 	if len(ps) == 0 {
-		return
+		return nil
 	}
+	out := make(map[uint64][]*pending)
+	for _, p := range ps {
+		out[p.epoch] = append(out[p.epoch], p)
+	}
+	return out
+}
+
+// runErr maps a reader-run refusal onto a service error.
+func runErr(err error) error {
+	if errors.Is(err, ppm.ErrRuntimeClosed) {
+		return ErrEvicted
+	}
+	return err
+}
+
+func (e *entry) serveCC(ps []*pending) {
+	for ep, grp := range groupByEpoch(ps) {
+		e.serveCCEpoch(ep, grp)
+	}
+}
+
+func (e *entry) serveCCEpoch(ep uint64, ps []*pending) {
 	e.memoMu.Lock()
-	res := e.ccRes
+	res := e.ccRes[ep]
 	e.memoMu.Unlock()
 	if res == nil {
+		slot, okSlot := e.res.SlotFor(ep)
+		if !okSlot {
+			for _, p := range ps {
+				p.finish(nil, ErrSnapshotGone)
+			}
+			return
+		}
 		if !e.acquireRun(&ps) {
 			return
 		}
-		ok := e.cc.Run()
+		ok, err := e.cc.RunAt(slot)
 		e.releaseRun()
 		e.srv.ctr.runs.Add(1)
-		if !ok {
+		if err == nil && !ok {
+			err = ErrRunFailed
+		}
+		if err != nil {
 			for _, p := range ps {
-				p.finish(nil, ErrRunFailed)
+				p.finish(nil, runErr(err))
 			}
 			return
 		}
@@ -750,9 +1125,10 @@ func (e *entry) serveCC(ps []*pending) {
 			comp[l] = struct{}{}
 			sum += l * 31
 		}
-		res = &Result{Kind: "cc", N: e.g.N, Checksum: sum, Extra: uint64(len(comp))}
+		res = &Result{Kind: "cc", N: e.g.N, Checksum: sum,
+			Extra: uint64(len(comp)), Epoch: ep}
 		e.memoMu.Lock()
-		e.ccRes = res
+		e.ccRes[ep] = res
 		e.memoMu.Unlock()
 	}
 	e.srv.ctr.runQueries.Add(int64(len(ps)))
@@ -764,22 +1140,35 @@ func (e *entry) serveCC(ps []*pending) {
 }
 
 func (e *entry) servePR(ps []*pending) {
-	if len(ps) == 0 {
-		return
+	for ep, grp := range groupByEpoch(ps) {
+		e.servePREpoch(ep, grp)
 	}
+}
+
+func (e *entry) servePREpoch(ep uint64, ps []*pending) {
 	e.memoMu.Lock()
-	res := e.prRes
+	res := e.prRes[ep]
 	e.memoMu.Unlock()
 	if res == nil {
+		slot, okSlot := e.res.SlotFor(ep)
+		if !okSlot {
+			for _, p := range ps {
+				p.finish(nil, ErrSnapshotGone)
+			}
+			return
+		}
 		if !e.acquireRun(&ps) {
 			return
 		}
-		ok := e.pr.Run()
+		ok, err := e.pr.RunAt(slot)
 		e.releaseRun()
 		e.srv.ctr.runs.Add(1)
-		if !ok {
+		if err == nil && !ok {
+			err = ErrRunFailed
+		}
+		if err != nil {
 			for _, p := range ps {
-				p.finish(nil, ErrRunFailed)
+				p.finish(nil, runErr(err))
 			}
 			return
 		}
@@ -789,9 +1178,9 @@ func (e *entry) servePR(ps []*pending) {
 			sum = sum*31 + r
 		}
 		res = &Result{Kind: "pagerank", N: e.g.N, Checksum: sum,
-			Extra: uint64(e.srv.cfg.PageRankIters)}
+			Extra: uint64(e.srv.cfg.PageRankIters), Epoch: ep}
 		e.memoMu.Lock()
-		e.prRes = res
+		e.prRes[ep] = res
 		e.memoMu.Unlock()
 	}
 	e.srv.ctr.runQueries.Add(int64(len(ps)))
@@ -803,6 +1192,19 @@ func (e *entry) servePR(ps []*pending) {
 }
 
 func (e *entry) serveBFS(ps []*pending) {
+	for ep, grp := range groupByEpoch(ps) {
+		e.serveBFSEpoch(ep, grp)
+	}
+}
+
+func (e *entry) serveBFSEpoch(ep uint64, ps []*pending) {
+	slot, okSlot := e.res.SlotFor(ep)
+	if !okSlot {
+		for _, p := range ps {
+			p.finish(nil, ErrSnapshotGone)
+		}
+		return
+	}
 	for len(ps) > 0 {
 		if !e.acquireRun(&ps) {
 			return
@@ -825,7 +1227,7 @@ func (e *entry) serveBFS(ps []*pending) {
 		}
 		ps = rest
 
-		ok, err := e.ms.RunBatch(sources)
+		ok, err := e.ms.RunBatchAt(sources, slot)
 		e.releaseRun()
 		e.srv.ctr.runs.Add(1)
 		if err == nil && !ok {
@@ -833,17 +1235,19 @@ func (e *entry) serveBFS(ps []*pending) {
 		}
 		if err != nil {
 			for _, p := range runPs {
-				p.finish(nil, err)
+				p.finish(nil, runErr(err))
 			}
 			continue
 		}
 		rows := make(map[int]*Result, len(sources))
 		for i, src := range sources {
-			rows[src] = summarizeBFS(src, e.ms.Levels(i))
+			r := summarizeBFS(src, e.ms.Levels(i))
+			r.Epoch = ep
+			rows[src] = r
 		}
 		e.memoMu.Lock()
 		for src, res := range rows {
-			e.rememberBFS(src, res)
+			e.rememberBFS(lvlKey{src, ep}, res)
 		}
 		e.memoMu.Unlock()
 		e.srv.ctr.runQueries.Add(int64(len(runPs)))
@@ -855,18 +1259,45 @@ func (e *entry) serveBFS(ps []*pending) {
 	}
 }
 
+// serveMut applies drained mutation batches one at a time (each is one
+// root-chain program run; on a durable runtime its commit is a persistence
+// point — when finish fires, the batch has already survived kill-9).
+func (e *entry) serveMut(ps []*pending) {
+	for _, p := range ps {
+		one := []*pending{p}
+		if !e.acquireRun(&one) {
+			continue
+		}
+		ok, err := e.res.Apply(*p.mut)
+		e.releaseRun()
+		e.srv.ctr.runs.Add(1)
+		if err == nil && !ok {
+			err = ErrRunFailed
+		}
+		if err != nil {
+			p.finish(nil, runErr(err))
+			continue
+		}
+		e.srv.ctr.mutations.Add(1)
+		e.pruneMemos()
+		cur := e.res.Current()
+		p.finish(&Result{Kind: "mutate", N: e.g.N, Epoch: e.res.Epoch(),
+			Extra: uint64(p.mut.Edges()), Checksum: uint64(cur.Arcs())}, nil)
+	}
+}
+
 // rememberBFS memoizes one BFS answer (caller holds memoMu).
-func (e *entry) rememberBFS(src int, res *Result) {
-	if el, ok := e.levels[src]; ok {
+func (e *entry) rememberBFS(k lvlKey, res *Result) {
+	if el, ok := e.levels[k]; ok {
 		e.lvlLRU.MoveToFront(el)
 		el.Value.(*lvlEntry).res = res
 		return
 	}
-	e.levels[src] = e.lvlLRU.PushFront(&lvlEntry{source: src, res: res})
+	e.levels[k] = e.lvlLRU.PushFront(&lvlEntry{key: k, res: res})
 	for e.lvlLRU.Len() > e.srv.cfg.LevelCacheEntries {
 		back := e.lvlLRU.Back()
 		e.lvlLRU.Remove(back)
-		delete(e.levels, back.Value.(*lvlEntry).source)
+		delete(e.levels, back.Value.(*lvlEntry).key)
 	}
 }
 
